@@ -1,0 +1,588 @@
+// Package bench is the paper-reproduction benchmark harness: one
+// benchmark per table and figure of the evaluation (regenerating the
+// reported rows/series), plus the ablation benchmarks called out in
+// DESIGN.md and micro-benchmarks of the hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"affinitycluster/internal/anneal"
+	"affinitycluster/internal/cloudsim"
+	"affinitycluster/internal/experiments"
+	"affinitycluster/internal/inventory"
+	"affinitycluster/internal/jointopt"
+	"affinitycluster/internal/lp"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/sdexact"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+const benchSeed = 2012
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+// BenchmarkTableI regenerates the instance catalog of Table I.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TableI(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the capacity example of Table II.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.TableII(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2–6 (simulation study)
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig2 regenerates Fig. 2: heuristic (best-center) distance vs
+// the same allocations under a random central node, 20 requests on the
+// 3×10 plant.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3: the central node chosen per request.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4: one allocation's distance as the
+// central node sweeps every hosting node.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: online heuristic vs global
+// sub-optimization, Normal request scenario.
+func BenchmarkFig5(b *testing.B) {
+	var lastImprovement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GlobalTotal > res.OnlineTotal+1e-9 {
+			b.Fatal("global worse than online")
+		}
+		lastImprovement = res.ImprovementPct
+	}
+	b.ReportMetric(lastImprovement, "improvement-%")
+}
+
+// BenchmarkFig6 regenerates Fig. 6: the Small request scenario, where the
+// paper reports the global algorithm's largest gains.
+func BenchmarkFig6(b *testing.B) {
+	var lastImprovement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GlobalTotal > res.OnlineTotal+1e-9 {
+			b.Fatal("global worse than online")
+		}
+		lastImprovement = res.ImprovementPct
+	}
+	b.ReportMetric(lastImprovement, "improvement-%")
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7–8 (MapReduce experiment)
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig7 regenerates Fig. 7: WordCount runtime (32 maps, 1 reduce)
+// on four equal-capability clusters of increasing distance, balanced
+// input. The runtime series must be monotone in distance.
+func BenchmarkFig7(b *testing.B) {
+	var spreadPenalty float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7and8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 1; r < len(res.Rows); r++ {
+			if res.Rows[r-1].RuntimeSec > res.Rows[r].RuntimeSec {
+				b.Fatalf("runtime not monotone at %s", res.Rows[r].Topology)
+			}
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		spreadPenalty = (last.RuntimeSec - first.RuntimeSec) / first.RuntimeSec * 100
+	}
+	b.ReportMetric(spreadPenalty, "spread-penalty-%")
+}
+
+// BenchmarkFig8 regenerates Fig. 8: the data/shuffle locality counters of
+// the same four clusters (skewed-input variant, which reproduces the
+// paper's locality-driven runtime inversion).
+func BenchmarkFig8(b *testing.B) {
+	var inversions float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7and8Skewed(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if inv, _, _ := res.HasInversion(); inv {
+			inversions = 1
+		}
+		// Remote shuffle volume must grow with distance in every run.
+		for r := 1; r < len(res.Rows); r++ {
+			if res.Rows[r-1].ShuffleRemoteMB > res.Rows[r].ShuffleRemoteMB {
+				b.Fatalf("remote shuffle not monotone at %s", res.Rows[r].Topology)
+			}
+		}
+	}
+	b.ReportMetric(inversions, "anomaly-present")
+}
+
+// ---------------------------------------------------------------------------
+// Supplementary experiment
+// ---------------------------------------------------------------------------
+
+// BenchmarkExactGap regenerates the heuristic-vs-exact optimality study.
+func BenchmarkExactGap(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExactGap(benchSeed, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hitRate = float64(res.OptimalHit) / float64(res.Instances) * 100
+	}
+	b.ReportMetric(hitRate, "optimal-hit-%")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+// benchSetup draws a placement instance on the paper plant.
+func benchSetup(b *testing.B) (*topology.Topology, [][]int, []model.Request) {
+	b.Helper()
+	topo := topology.PaperSimPlant()
+	sim, err := workload.NewPaperSimulation(benchSeed, workload.Normal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo, sim.Capacities, sim.Requests
+}
+
+// BenchmarkAblationCenterPolicy compares Algorithm 1's center scan
+// (ScanAllCenters, ours) against the paper's random initial center.
+func BenchmarkAblationCenterPolicy(b *testing.B) {
+	topo, caps, reqs := benchSetup(b)
+	b.Run("scan-all", func(b *testing.B) {
+		h := &placement.OnlineHeuristic{Policy: placement.ScanAllCenters}
+		var total float64
+		for i := 0; i < b.N; i++ {
+			res, err := placement.PlaceSequential(topo, caps, reqs, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = res.Total
+		}
+		b.ReportMetric(total, "total-distance")
+	})
+	b.Run("random-center", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			h := &placement.OnlineHeuristic{Policy: placement.RandomCenter, Rand: rand.New(rand.NewSource(int64(i)))}
+			res, err := placement.PlaceSequential(topo, caps, reqs, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = res.Total
+		}
+		b.ReportMetric(total, "total-distance")
+	})
+}
+
+// BenchmarkAblationTransferFixpoint compares Algorithm 2 run for a single
+// exchange pass (the paper) against run-to-fixpoint.
+func BenchmarkAblationTransferFixpoint(b *testing.B) {
+	topo, caps, reqs := benchSetup(b)
+	for _, tc := range []struct {
+		name   string
+		passes int
+	}{
+		{"single-pass", 1},
+		{"fixpoint", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			g := &placement.GlobalSubOpt{MaxPasses: tc.passes}
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := g.PlaceBatch(topo, caps, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Total
+			}
+			b.ReportMetric(total, "total-distance")
+		})
+	}
+}
+
+// BenchmarkAblationExactSolvers compares the specialized exact SD solver
+// (per-center transportation greedy) against the general branch-and-bound
+// ILP on the same instance — identical objective values, very different
+// cost.
+func BenchmarkAblationExactSolvers(b *testing.B) {
+	topo, err := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), 2, workload.DefaultInventoryConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := model.Request{4, 2}
+	b.Run("transportation-greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sdexact.SolveSD(topo, caps, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("branch-and-bound-ilp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sdexact.SolveSDMIP(topo, caps, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDelaySched compares the MapReduce scheduler with and
+// without delay scheduling on the skewed-input experiment, where locality
+// is contended.
+func BenchmarkAblationDelaySched(b *testing.B) {
+	tops, err := experiments.MRTopologies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mt := tops[1] // the cluster whose locality suffers most under skew
+	for _, tc := range []struct {
+		name  string
+		skips int
+	}{
+		{"eager", 0},
+		{"delay-3", 3},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := experiments.DefaultMRExperimentConfig(benchSeed)
+			cfg.SingleWriterInput = true
+			cfg.Sim.DelaySkips = tc.skips
+			var nonLocal float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunMRCluster(mt.Name, mt.Alloc, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nonLocal = float64(row.NonDataLocalMaps)
+			}
+			b.ReportMetric(nonLocal, "non-local-maps")
+		})
+	}
+}
+
+// BenchmarkAblationGlobalOptimizers compares the paper's Algorithm 2
+// exchange local search against simulated annealing on the same batch.
+func BenchmarkAblationGlobalOptimizers(b *testing.B) {
+	topo, caps, reqs := benchSetup(b)
+	b.Run("algorithm2", func(b *testing.B) {
+		g := &placement.GlobalSubOpt{}
+		var total float64
+		for i := 0; i < b.N; i++ {
+			res, err := g.PlaceBatch(topo, caps, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = res.Total
+		}
+		b.ReportMetric(total, "total-distance")
+	})
+	b.Run("annealing", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			res, err := anneal.Optimize(topo, caps, reqs, anneal.Options{Seed: benchSeed, Iterations: 20000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = res.Total
+		}
+		b.ReportMetric(total, "total-distance")
+	})
+}
+
+// BenchmarkBaselineComparison regenerates the strategy comparison table.
+func BenchmarkBaselineComparison(b *testing.B) {
+	var onlineTotal float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BaselineComparison(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		onlineTotal = res.Rows[0].Total
+	}
+	b.ReportMetric(onlineTotal, "online-total-distance")
+}
+
+// BenchmarkSelectivitySweep regenerates the supplementary sweep: affinity
+// benefit as a function of shuffle selectivity.
+func BenchmarkSelectivitySweep(b *testing.B) {
+	var heavyBenefit float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SelectivitySweep(benchSeed, []float64{0.01, 0.5, 1.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		heavyBenefit = res.Rows[len(res.Rows)-1].SpeedupPct
+	}
+	b.ReportMetric(heavyBenefit, "heavy-speedup-%")
+}
+
+// BenchmarkAblationMigration compares the operating cloud with and
+// without affinity-aware live migration on a contended workload.
+func BenchmarkAblationMigration(b *testing.B) {
+	topo := topology.PaperSimPlant()
+	reqs, err := workload.RandomRequests(benchSeed, 40, 3, workload.Normal, workload.DefaultRequestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	arrivals := workload.DefaultArrivalConfig()
+	arrivals.MeanInterarrival = 5
+	arrivals.MeanHold = 300
+	timed, err := workload.TimedRequests(benchSeed+1, reqs, arrivals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		migrate bool
+	}{
+		{"placement-only", false},
+		{"with-migration", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), 3, workload.InventoryConfig{MaxPerType: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv, err := inventory.NewFromMatrix(caps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim, err := cloudsim.New(topo, inv, &placement.OnlineHeuristic{}, cloudsim.Config{Migrate: tc.migrate})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := sim.Run(timed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				final = m.FinalDistanceSum
+			}
+			b.ReportMetric(final, "final-distance")
+		})
+	}
+}
+
+// BenchmarkAblationJointopt compares DC-oriented and shuffle-oriented
+// placement objectives by the pairwise affinity of the cluster each
+// produces for the same request.
+func BenchmarkAblationJointopt(b *testing.B) {
+	topo, err := topology.Uniform(1, 4, 4, topology.DefaultDistances())
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), 1, workload.InventoryConfig{MaxPerType: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := model.Request{8}
+	for _, tc := range []struct {
+		name string
+		w    float64
+	}{
+		{"dc-oriented", 0},
+		{"shuffle-oriented", 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := &jointopt.Placer{Profile: jointopt.Profile{ShuffleWeight: tc.w}}
+			var aff float64
+			for i := 0; i < b.N; i++ {
+				alloc, err := p.Place(topo, caps, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				aff = alloc.PairwiseAffinity(topo)
+			}
+			b.ReportMetric(aff, "pairwise-affinity")
+		})
+	}
+}
+
+// BenchmarkAblationSpeculation compares straggler-afflicted WordCount
+// with and without speculative execution.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	tops, err := experiments.MRTopologies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		spec bool
+	}{
+		{"no-speculation", false},
+		{"speculation", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := experiments.DefaultMRExperimentConfig(benchSeed)
+			cfg.Sim.StragglerProb = 0.2
+			cfg.Sim.StragglerFactor = 8
+			cfg.Sim.Speculative = tc.spec
+			cfg.Sim.Seed = benchSeed
+			var runtime float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunMRCluster(tops[0].Name, tops[0].Alloc, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime = row.RuntimeSec
+			}
+			b.ReportMetric(runtime, "runtime-s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths
+// ---------------------------------------------------------------------------
+
+// BenchmarkOnlinePlace measures a single Algorithm 1 placement on the
+// paper plant.
+func BenchmarkOnlinePlace(b *testing.B) {
+	topo, caps, reqs := benchSetup(b)
+	h := &placement.OnlineHeuristic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Place(topo, caps, reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSD measures the exact solver on the paper plant.
+func BenchmarkExactSD(b *testing.B) {
+	topo, caps, reqs := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdexact.SolveSD(topo, caps, reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplex measures the LP substrate on a transportation-shaped
+// instance of growing size.
+func BenchmarkSimplex(b *testing.B) {
+	for _, n := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(benchSeed))
+			build := func() *lp.Problem {
+				p := lp.NewProblem(n * n)
+				obj := make([]float64, n*n)
+				for i := range obj {
+					obj[i] = float64(1 + rng.Intn(9))
+				}
+				if err := p.SetObjective(obj); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					vars := make([]int, n)
+					coef := make([]float64, n)
+					for j := 0; j < n; j++ {
+						vars[j] = i*n + j
+						coef[j] = 1
+					}
+					if err := p.AddSparseConstraint(vars, coef, lp.LE, float64(5+rng.Intn(5))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 0; j < n; j++ {
+					vars := make([]int, n)
+					coef := make([]float64, n)
+					for i := 0; i < n; i++ {
+						vars[i] = i*n + j
+						coef[i] = 1
+					}
+					if err := p.AddSparseConstraint(vars, coef, lp.EQ, 2); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return p
+			}
+			prob := build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := prob.Solve()
+				if err != nil || s.Status != lp.Optimal {
+					b.Fatalf("status %v err %v", s.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMapReduceWordCount measures one full simulated WordCount run.
+func BenchmarkMapReduceWordCount(b *testing.B) {
+	tops, err := experiments.MRTopologies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.DefaultMRExperimentConfig(benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMRCluster(tops[0].Name, tops[0].Alloc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command affinitysim runs the paper's simulation experiments (Figs. 2–6)
+// on the 3-rack × 10-node cloud and prints figure-shaped terminal output.
+//
+// Usage:
+//
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"affinitycluster/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, or all")
+	flag.Parse()
+
+	if err := run(*seed, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "affinitysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, fig string) error {
+	want := func(f string) bool { return fig == "all" || fig == f }
+	if want("2") {
+		res, err := experiments.Fig2(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("3") {
+		res, err := experiments.Fig3(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("4") {
+		res, err := experiments.Fig4(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("5") {
+		res, err := experiments.Fig5(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("6") {
+		res, err := experiments.Fig6(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6"}, fig) {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

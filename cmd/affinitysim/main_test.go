@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run(2012, "all"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	for _, fig := range []string{"2", "3", "4", "5", "6"} {
+		if err := run(7, fig); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(7, "9"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

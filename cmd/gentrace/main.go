@@ -1,0 +1,66 @@
+// Command gentrace generates a seeded random request trace (the paper's
+// simulation workload) as JSON on stdout or to a file, for replay with
+// the library's trace package or external tooling.
+//
+// Usage:
+//
+//	gentrace [-seed N] [-count N] [-types N] [-scenario normal|small] [-out trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"affinitycluster/internal/trace"
+	"affinitycluster/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	count := flag.Int("count", 20, "number of requests")
+	types := flag.Int("types", 3, "VM type count")
+	scenario := flag.String("scenario", "normal", "request scenario: normal or small")
+	out := flag.String("out", "", "output path (default stdout)")
+	interarrival := flag.Float64("interarrival", 30, "mean interarrival seconds")
+	hold := flag.Float64("hold", 300, "mean hold seconds")
+	flag.Parse()
+
+	if err := run(*seed, *count, *types, *scenario, *out, *interarrival, *hold); err != nil {
+		fmt.Fprintln(os.Stderr, "gentrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, count, types int, scenario, out string, interarrival, hold float64) error {
+	var sc workload.Scenario
+	switch scenario {
+	case "normal":
+		sc = workload.Normal
+	case "small":
+		sc = workload.Small
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+	reqs, err := workload.RandomRequests(seed, count, types, sc, workload.DefaultRequestConfig())
+	if err != nil {
+		return err
+	}
+	cfg := workload.DefaultArrivalConfig()
+	cfg.MeanInterarrival = interarrival
+	cfg.MeanHold = hold
+	timed, err := workload.TimedRequests(seed+1, reqs, cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.New(
+		fmt.Sprintf("seed %d, %s scenario, %d requests", seed, scenario, count),
+		types, timed)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		return trace.Save(os.Stdout, tr)
+	}
+	return trace.SaveFile(out, tr)
+}

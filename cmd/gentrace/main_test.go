@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"affinitycluster/internal/trace"
+)
+
+func TestGenerateToFileAndReload(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(5, 12, 3, "normal", out, 30, 300); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 12 || tr.Types != 3 {
+		t.Errorf("trace shape: %d requests, %d types", len(tr.Requests), tr.Types)
+	}
+}
+
+func TestGenerateSmallScenario(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(5, 8, 3, "small", out, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr.Requests {
+		if r.Vector.TotalVMs() > 3 {
+			t.Errorf("small request %d has %d VMs", i, r.Vector.TotalVMs())
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run(1, 5, 3, "weird", "", 30, 300); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run(1, 0, 3, "normal", "", 30, 300); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := run(1, 5, 3, "normal", "", -1, 300); err == nil {
+		t.Error("negative interarrival accepted")
+	}
+}

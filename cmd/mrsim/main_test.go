@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBalanced(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2012, false, "wordcount"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 7", "Fig 8", "dist-24", "dist-48"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "anomaly") {
+		t.Error("balanced run reported an anomaly")
+	}
+}
+
+func TestRunSkewed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2012, true, "wordcount"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "anomaly") {
+		t.Error("skewed run did not report the inversion")
+	}
+}
+
+func TestRunOtherJobs(t *testing.T) {
+	for _, job := range []string{"terasort", "grep", "join"} {
+		var buf bytes.Buffer
+		if err := run(&buf, 2012, false, job); err != nil {
+			t.Errorf("%s: %v", job, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 2012, false, "mystery"); err == nil {
+		t.Error("unknown job accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command paperrepro runs every experiment of the paper end to end —
+// Tables I/II, Figs. 2–6 (simulation), Figs. 7–8 (MapReduce experiment,
+// balanced and skewed variants), and the supplementary heuristic-vs-exact
+// gap study — and prints a consolidated report. Figs. 5/6 improvements
+// are additionally averaged over several seeds, since a single draw of
+// 20 random requests is noisy.
+//
+// Usage:
+//
+//	paperrepro [-seed N] [-seeds M] [-json]
+//
+// -json emits a machine-readable report (schema in internal/report)
+// instead of the human-readable figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"affinitycluster/internal/experiments"
+	"affinitycluster/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2012, "base random seed")
+	seeds := flag.Int("seeds", 10, "number of seeds for the Fig 5/6 averages")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	flag.Parse()
+
+	var err error
+	if *jsonOut {
+		err = runJSON(*seed)
+	} else {
+		err = run(*seed, *seeds)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func runJSON(seed int64) error {
+	r, err := report.Collect(seed, 100)
+	if err != nil {
+		return err
+	}
+	return r.WriteJSON(os.Stdout)
+}
+
+func run(seed int64, seeds int) error {
+	fmt.Println("=== Table I — instance catalog ===")
+	fmt.Println(experiments.TableI())
+	fmt.Println("=== Table II — capacity relationship example ===")
+	fmt.Println(experiments.TableII())
+
+	f2, err := experiments.Fig2(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f2.Render())
+
+	f3, err := experiments.Fig3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f3.Render())
+
+	f4, err := experiments.Fig4(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f4.Render())
+
+	f5, err := experiments.Fig5(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f5.Render())
+
+	f6, err := experiments.Fig6(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f6.Render())
+
+	if seeds > 1 {
+		normal, small, err := experiments.Fig56Averages(seed, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig 5/6 averages over %d seeds: normal −%.1f%%, small −%.1f%%\n\n",
+			seeds, normal, small)
+	}
+
+	f78, err := experiments.Fig7and8(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(f78.RenderFig7())
+	fmt.Println(f78.RenderFig8())
+
+	skew, err := experiments.Fig7and8Skewed(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- skewed-input variant (reproduces the paper's Fig 7 anomaly) ---")
+	fmt.Println(skew.RenderFig7())
+	fmt.Println(skew.RenderFig8())
+	if inv, slower, faster := skew.HasInversion(); inv {
+		fmt.Printf("anomaly present: %s ran slower than %s despite its shorter distance\n\n", slower, faster)
+	}
+
+	gap, err := experiments.ExactGap(seed, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Supplementary: Algorithm 1 vs exact SD optimum ===")
+	fmt.Println(gap.Render())
+
+	base, err := experiments.BaselineComparison(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Supplementary: strategy comparison ===")
+	fmt.Println(base.Render())
+
+	sweep, err := experiments.SelectivitySweep(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sweep.Render())
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestFullReproductionRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction is slow")
+	}
+	if err := run(2012, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Dynamicdistance: measure node-to-node latency with noisy probes, infer
+// the rack/cloud hierarchy and distance tiers from the measurements, and
+// place a virtual cluster on the *inferred* topology — then handle a node
+// failure by filtering its capacity out. This exercises the paper's
+// future-work item on computing distances dynamically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/probing"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+func main() {
+	// Ground truth the operator cannot see directly: 2 clouds × 2 racks.
+	truth, err := topology.Uniform(2, 2, 4, topology.DefaultDistances())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Probe campaign with ±15% latency noise.
+	sampler, err := probing.NewSampler(truth, 42, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := probing.NewEstimator(truth.Nodes(), probing.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sampler.Campaign(est, 8); err != nil {
+		log.Fatal(err)
+	}
+	inferred, err := est.InferTopology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred: %d nodes, %d racks, %d clouds (truth: %d racks, %d clouds)\n",
+		inferred.Nodes(), inferred.Racks(), inferred.Clouds(), truth.Racks(), truth.Clouds())
+	d := inferred.Distances()
+	fmt.Printf("inferred tiers: same-rack %.3f, cross-rack %.3f, cross-cloud %.3f\n",
+		d.SameRack, d.CrossRack, d.CrossCloud)
+
+	// Place on the measured topology.
+	caps, err := workload.RandomCapacities(7, truth.Nodes(), 2, workload.DefaultInventoryConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := model.Request{4, 2}
+	h := &placement.OnlineHeuristic{}
+	alloc, err := h.Place(inferred, caps, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, center := alloc.Distance(inferred)
+	fmt.Printf("placed %v: measured distance %.3f, central node %d\n", req, dist, center)
+
+	// A node fails; probes to it time out; capacity is filtered.
+	failed := alloc.HostingNodes()[0]
+	sampler.SetDown(failed, true)
+	if err := sampler.Campaign(est, 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node %d failed; detector says down=%v\n", failed, est.IsDown(failed))
+	safeCaps, err := est.FilterCapacities(caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	realloc, err := h.Place(inferred, safeCaps, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if realloc.VMsOnNode(failed) != 0 {
+		log.Fatalf("replacement cluster still uses the failed node")
+	}
+	dist2, _ := realloc.Distance(inferred)
+	fmt.Printf("replacement cluster avoids node %d: distance %.3f\n", failed, dist2)
+}

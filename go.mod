@@ -1,0 +1,3 @@
+module affinitycluster
+
+go 1.22

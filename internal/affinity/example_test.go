@@ -1,0 +1,36 @@
+package affinity_test
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/topology"
+)
+
+// The paper's worked example (Section III.A): a request for 2 V1, 4 V2,
+// and 1 V3 placed on a two-rack plant, evaluated with d1 = 1, d2 = 2.
+func ExampleAllocation_Distance() {
+	plant, _ := topology.Uniform(1, 2, 2, topology.DefaultDistances())
+	// Node 0 hosts 2 V1 + 2 V2, node 1 hosts 2 V2, node 2 (other rack)
+	// hosts 1 V3 — the paper's DC1 allocation.
+	alloc := affinity.Allocation{
+		{2, 2, 0},
+		{0, 2, 0},
+		{0, 0, 1},
+		{0, 0, 0},
+	}
+	dc, center := alloc.Distance(plant)
+	fmt.Printf("DC = %.0f (2·d1 + d2), central node N%d\n", dc, center)
+	// Output:
+	// DC = 4 (2·d1 + d2), central node N0
+}
+
+func ExampleAllocation_PairwiseAffinity() {
+	plant, _ := topology.Uniform(1, 2, 2, topology.DefaultDistances())
+	packed := affinity.Allocation{{4, 0}, {0, 0}, {0, 0}, {0, 0}}
+	spread := affinity.Allocation{{1, 0}, {1, 0}, {1, 0}, {1, 0}}
+	fmt.Printf("packed: %.0f, spread: %.0f\n",
+		packed.PairwiseAffinity(plant), spread.PairwiseAffinity(plant))
+	// Output:
+	// packed: 0, spread: 10
+}

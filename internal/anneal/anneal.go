@@ -1,0 +1,205 @@
+// Package anneal provides a simulated-annealing batch optimizer for the
+// global shortest-distance problem — an alternative to the paper's
+// Algorithm 2 exchange local search. Where Algorithm 2 only accepts
+// strictly improving moves (and therefore stops at the nearest local
+// minimum), annealing occasionally accepts worsening moves early on,
+// escaping local minima at the cost of more evaluations. The benchmark
+// harness compares both against the exact GSD optimum.
+//
+// Determinism: all randomness comes from the seeded generator in Options,
+// so runs are reproducible.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+)
+
+// Options tunes the annealer.
+type Options struct {
+	// Seed drives the random walk.
+	Seed int64
+	// Iterations is the number of proposed moves (0 = 20000).
+	Iterations int
+	// StartTemp is the initial temperature in distance units (0 = 2.0);
+	// the schedule decays geometrically to ~0.01 × StartTemp.
+	StartTemp float64
+}
+
+// Result is the annealed batch placement.
+type Result struct {
+	Allocs   []affinity.Allocation // nil entry: request not placed
+	Total    float64               // Σ DC over placed requests
+	Failed   int
+	Accepted int // accepted proposals
+	Proposed int
+}
+
+// Optimize places the batch with the online heuristic, then anneals the
+// joint placement with single-VM relocations (into spare capacity) and
+// same-type swaps between clusters. The capacity snapshot l is not
+// mutated.
+func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options) (*Result, error) {
+	if t == nil {
+		return nil, errors.New("anneal: nil topology")
+	}
+	if len(l) != t.Nodes() {
+		return nil, fmt.Errorf("anneal: capacity matrix has %d rows, topology has %d nodes", len(l), t.Nodes())
+	}
+	iterations := opt.Iterations
+	if iterations <= 0 {
+		iterations = 20000
+	}
+	startTemp := opt.StartTemp
+	if startTemp <= 0 {
+		startTemp = 2.0
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Seed state: sequential online placement.
+	seed, err := placement.PlaceSequential(t, l, reqs, &placement.OnlineHeuristic{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Allocs: seed.Allocs, Failed: seed.Failed}
+	var placed []int
+	for qi, a := range res.Allocs {
+		if a != nil {
+			placed = append(placed, qi)
+		}
+	}
+	if len(placed) == 0 {
+		return res, nil
+	}
+	// Residual capacity after the seed placement.
+	free := make([][]int, t.Nodes())
+	for i := range l {
+		free[i] = append([]int(nil), l[i]...)
+	}
+	for _, qi := range placed {
+		a := res.Allocs[qi]
+		for i := range a {
+			for j, k := range a[i] {
+				free[i][j] -= k
+			}
+		}
+	}
+	dc := make(map[int]float64, len(placed))
+	total := 0.0
+	for _, qi := range placed {
+		d, _ := res.Allocs[qi].Distance(t)
+		dc[qi] = d
+		total += d
+	}
+	best := total
+	bestState := cloneState(res.Allocs)
+
+	n := t.Nodes()
+	m := len(reqs[0])
+	decay := math.Pow(0.01, 1/float64(iterations)) // StartTemp → 1% over the run
+	temp := startTemp
+	for it := 0; it < iterations; it++ {
+		temp *= decay
+		res.Proposed++
+		qi := placed[rng.Intn(len(placed))]
+		a := res.Allocs[qi]
+		// Pick a random hosted (node, type) cell.
+		hosts := a.HostingNodes()
+		from := hosts[rng.Intn(len(hosts))]
+		var types []int
+		for j := 0; j < m; j++ {
+			if a[from][j] > 0 {
+				types = append(types, j)
+			}
+		}
+		j := types[rng.Intn(len(types))]
+		to := topology.NodeID(rng.Intn(n))
+		if to == from {
+			continue
+		}
+		if free[to][j] > 0 {
+			// Relocation proposal.
+			before := dc[qi]
+			a.Remove(from, model.VMTypeID(j))
+			a.Add(to, model.VMTypeID(j))
+			after, _ := a.Distance(t)
+			if accept(after-before, temp, rng) {
+				free[from][j]++
+				free[to][j]--
+				dc[qi] = after
+				total += after - before
+				res.Accepted++
+			} else {
+				a.Remove(to, model.VMTypeID(j))
+				a.Add(from, model.VMTypeID(j))
+				continue
+			}
+		} else {
+			// Swap proposal with a cluster hosting type j on `to`.
+			pi := -1
+			for _, cand := range placed {
+				if cand != qi && res.Allocs[cand][to][j] > 0 {
+					pi = cand
+					break
+				}
+			}
+			if pi < 0 {
+				continue
+			}
+			b := res.Allocs[pi]
+			beforeSum := dc[qi] + dc[pi]
+			a.Remove(from, model.VMTypeID(j))
+			a.Add(to, model.VMTypeID(j))
+			b.Remove(to, model.VMTypeID(j))
+			b.Add(from, model.VMTypeID(j))
+			da, _ := a.Distance(t)
+			db, _ := b.Distance(t)
+			if accept((da+db)-beforeSum, temp, rng) {
+				dc[qi], dc[pi] = da, db
+				total += (da + db) - beforeSum
+				res.Accepted++
+			} else {
+				a.Remove(to, model.VMTypeID(j))
+				a.Add(from, model.VMTypeID(j))
+				b.Remove(from, model.VMTypeID(j))
+				b.Add(to, model.VMTypeID(j))
+				continue
+			}
+		}
+		if total < best-1e-12 {
+			best = total
+			bestState = cloneState(res.Allocs)
+		}
+	}
+	res.Allocs = bestState
+	res.Total = best
+	return res, nil
+}
+
+// accept implements the Metropolis criterion.
+func accept(delta, temp float64, rng *rand.Rand) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return rng.Float64() < math.Exp(-delta/temp)
+}
+
+func cloneState(allocs []affinity.Allocation) []affinity.Allocation {
+	out := make([]affinity.Allocation, len(allocs))
+	for i, a := range allocs {
+		if a != nil {
+			out[i] = a.Clone()
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/sdexact"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+func plant(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestValidation(t *testing.T) {
+	tp := plant(t)
+	if _, err := Optimize(nil, nil, nil, Options{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Optimize(tp, [][]int{{1}}, nil, Options{}); err == nil {
+		t.Error("short capacity matrix accepted")
+	}
+}
+
+func TestAnnealNeverWorseThanSeed(t *testing.T) {
+	tp := topology.PaperSimPlant()
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		caps, err := workload.RandomCapacities(r.Int63(), tp.Nodes(), 3, workload.DefaultInventoryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := workload.RandomRequests(r.Int63(), 8, 3, workload.Normal, workload.DefaultRequestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := placement.PlaceSequential(tp, caps, reqs, &placement.OnlineHeuristic{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(tp, caps, reqs, Options{Seed: int64(trial), Iterations: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != seed.Failed {
+			continue
+		}
+		if res.Total > seed.Total+1e-9 {
+			t.Errorf("trial %d: anneal %v worse than seed %v", trial, res.Total, seed.Total)
+		}
+	}
+}
+
+func TestAnnealRespectsCapacityAndVectors(t *testing.T) {
+	tp := plant(t)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		caps, err := workload.RandomCapacities(r.Int63(), tp.Nodes(), 2, workload.DefaultInventoryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := []model.Request{
+			{1 + r.Intn(3), r.Intn(2)},
+			{1 + r.Intn(3), r.Intn(2)},
+			{1 + r.Intn(2), r.Intn(2)},
+		}
+		res, err := Optimize(tp, caps, reqs, Options{Seed: int64(trial), Iterations: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make([][]int, tp.Nodes())
+		for i := range used {
+			used[i] = make([]int, 2)
+		}
+		for qi, a := range res.Allocs {
+			if a == nil {
+				continue
+			}
+			if !a.Satisfies(reqs[qi]) {
+				t.Fatalf("trial %d: request %d vector broken", trial, qi)
+			}
+			for i := range a {
+				for j, k := range a[i] {
+					used[i][j] += k
+				}
+			}
+		}
+		for i := range used {
+			for j := range used[i] {
+				if used[i][j] > caps[i][j] {
+					t.Fatalf("trial %d: capacity violated at node %d type %d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	tp := plant(t)
+	caps, err := workload.RandomCapacities(5, tp.Nodes(), 2, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.RandomRequests(6, 5, 2, workload.Normal, workload.DefaultRequestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Optimize(tp, caps, reqs, Options{Seed: 9, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Optimize(tp, caps, reqs, Options{Seed: 9, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total != r2.Total || r1.Accepted != r2.Accepted {
+		t.Errorf("same seed diverged: %v/%d vs %v/%d", r1.Total, r1.Accepted, r2.Total, r2.Accepted)
+	}
+}
+
+// Property: the annealed total is sandwiched between the exact GSD
+// optimum and the sequential-online seed.
+func TestQuickAnnealSandwich(t *testing.T) {
+	tp, err := topology.Uniform(1, 2, 2, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := tp.Nodes()
+		caps := make([][]int, n)
+		totalCap := 0
+		for i := range caps {
+			caps[i] = []int{2 + r.Intn(3)}
+			totalCap += caps[i][0]
+		}
+		reqs := []model.Request{{1 + r.Intn(3)}, {1 + r.Intn(3)}}
+		if reqs[0][0]+reqs[1][0] > totalCap {
+			return true
+		}
+		exact, err := sdexact.SolveGSD(tp, caps, reqs, sdexact.GSDOptions{})
+		if err != nil {
+			return false
+		}
+		seedRes, err := placement.PlaceSequential(tp, caps, reqs, &placement.OnlineHeuristic{})
+		if err != nil || seedRes.Failed > 0 {
+			return true
+		}
+		res, err := Optimize(tp, caps, reqs, Options{Seed: seed, Iterations: 1500})
+		if err != nil || res.Failed > 0 {
+			return false
+		}
+		return res.Total >= exact.Total-1e-9 && res.Total <= seedRes.Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyBatchAndAllInfeasible(t *testing.T) {
+	tp := plant(t)
+	caps := make([][]int, tp.Nodes())
+	for i := range caps {
+		caps[i] = []int{0}
+	}
+	res, err := Optimize(tp, caps, []model.Request{{5}}, Options{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Total != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}

@@ -1,0 +1,334 @@
+// Package cloudsim simulates a cloud serving a stream of virtual-cluster
+// requests over time — the paper's operational setting where "requests
+// will arrive and their job will finish randomly" (Section V.A). Arrivals
+// try to provision immediately through a pluggable placement strategy;
+// requests that do not fit wait in the queue of package queue and are
+// re-examined whenever a departing cluster releases resources.
+//
+// Two service modes are supported: per-request (each admitted request is
+// placed alone, the paper's online setting) and batch (all admissible
+// queued requests are placed together with the global sub-optimization
+// algorithm whenever resources free up).
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/eventsim"
+	"affinitycluster/internal/inventory"
+	"affinitycluster/internal/migration"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/queue"
+	"affinitycluster/internal/topology"
+)
+
+// Config selects queueing and service behaviour.
+type Config struct {
+	// Policy orders the wait queue.
+	Policy queue.Policy
+	// QueueCap bounds the wait queue (0 = unbounded); arrivals beyond it
+	// are rejected.
+	QueueCap int
+	// Strict uses head-blocking admission (strict fairness) instead of
+	// the paper's take-what-fits getRequests.
+	Strict bool
+	// Batch places drained queue batches with the global sub-optimization
+	// algorithm instead of one-by-one online placement.
+	Batch bool
+	// Migrate runs the affinity-aware migration planner over the running
+	// clusters after every departure, tightening them into freed
+	// capacity.
+	Migrate bool
+	// Migration tunes the planner when Migrate is set.
+	Migration migration.Config
+	// BatchWindow > 0 delays admission: arrivals queue, and a drain fires
+	// BatchWindow seconds after the first queued request, trading wait
+	// time for larger batches — the paper notes global optimization
+	// becomes possible when users reserve ("tell the cloud provider how
+	// long the resources will be occupied") instead of demanding
+	// immediate service. Usually combined with Batch.
+	BatchWindow float64
+}
+
+// Metrics aggregates one simulation run.
+type Metrics struct {
+	Served    int
+	Rejected  int       // exceeded total plant capacity or queue full
+	Unplaced  int       // admitted but never placed before the run ended
+	Distances []float64 // DC of each served cluster, in service order
+	Waits     []float64 // queueing delay of each served request
+	// UtilizationAvg is the time-weighted mean fraction of plant VM slots
+	// occupied between the first arrival and the last departure.
+	UtilizationAvg float64
+	// TotalDistance sums Distances.
+	TotalDistance float64
+	// MakeSpan is the virtual time of the last departure.
+	MakeSpan float64
+	// Migrations counts applied migration moves; MigrationMB is the
+	// traffic they generated; MigrationGain is the summed DC reduction.
+	Migrations    int
+	MigrationMB   float64
+	MigrationGain float64
+	// FinalDistanceSum is Σ DC over clusters at their departure — with
+	// migration enabled it reflects post-migration placements.
+	FinalDistanceSum float64
+}
+
+// Simulator runs one scenario.
+type Simulator struct {
+	topo   *topology.Topology
+	inv    *inventory.Inventory
+	placer placement.Placer
+	cfg    Config
+
+	engine *eventsim.Engine
+	queue  *queue.Queue
+	global *placement.GlobalSubOpt
+	mig    *migration.Planner
+
+	arrivals map[model.RequestID]float64
+	running  map[int]affinity.Allocation // live clusters by registry ID
+	nextRun  int
+	metrics  Metrics
+
+	drainPending bool // a BatchWindow drain is already scheduled
+
+	totalSlots int
+	usedSlots  int
+	lastSample float64
+	utilArea   float64
+}
+
+// New builds a simulator over a topology, a live inventory, and a
+// placement strategy.
+func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Placer, cfg Config) (*Simulator, error) {
+	if tp.Nodes() != inv.Nodes() {
+		return nil, fmt.Errorf("cloudsim: topology has %d nodes, inventory %d", tp.Nodes(), inv.Nodes())
+	}
+	if placer == nil {
+		return nil, errors.New("cloudsim: nil placer")
+	}
+	s := &Simulator{
+		topo:     tp,
+		inv:      inv,
+		placer:   placer,
+		cfg:      cfg,
+		engine:   eventsim.New(),
+		queue:    queue.New(cfg.Policy, cfg.QueueCap),
+		global:   &placement.GlobalSubOpt{},
+		mig:      &migration.Planner{Config: cfg.Migration},
+		arrivals: make(map[model.RequestID]float64),
+		running:  make(map[int]affinity.Allocation),
+	}
+	caps := inv.CapacityMatrix()
+	for i := range caps {
+		s.totalSlots += model.Sum(caps[i])
+	}
+	if s.totalSlots == 0 {
+		return nil, errors.New("cloudsim: inventory has zero capacity")
+	}
+	return s, nil
+}
+
+// Run feeds the timed requests through the simulated cloud and returns
+// the aggregate metrics once all work has drained.
+func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
+	for _, r := range reqs {
+		r := r
+		if _, err := s.engine.At(r.Arrival, func(now float64) { s.arrive(r, now) }); err != nil {
+			return nil, fmt.Errorf("cloudsim: scheduling arrival of request %d: %w", r.ID, err)
+		}
+	}
+	s.engine.Run()
+	s.sampleUtilization(s.engine.Now())
+	s.metrics.MakeSpan = s.engine.Now()
+	if s.metrics.MakeSpan > 0 {
+		s.metrics.UtilizationAvg = s.utilArea / (s.metrics.MakeSpan * float64(s.totalSlots))
+	}
+	s.metrics.Unplaced = s.queue.Len()
+	return &s.metrics, nil
+}
+
+// sampleUtilization integrates slot usage up to now.
+func (s *Simulator) sampleUtilization(now float64) {
+	dt := now - s.lastSample
+	if dt > 0 {
+		s.utilArea += float64(s.usedSlots) * dt
+		s.lastSample = now
+	}
+}
+
+func (s *Simulator) arrive(r model.TimedRequest, now float64) {
+	s.arrivals[r.ID] = now
+	if !s.inv.CanEverSatisfy(r.Vector) {
+		s.metrics.Rejected++
+		return
+	}
+	if s.cfg.BatchWindow > 0 {
+		// Reservation-style admission: accumulate a batch, drain later.
+		if err := s.queue.Enqueue(r); err != nil {
+			s.metrics.Rejected++
+			return
+		}
+		if !s.drainPending {
+			s.drainPending = true
+			_, _ = s.engine.After(s.cfg.BatchWindow, func(at float64) {
+				s.drainPending = false
+				s.drain(at)
+			})
+		}
+		return
+	}
+	if s.inv.CanSatisfy(r.Vector) && s.queue.Len() == 0 {
+		if s.place(r, now) {
+			return
+		}
+	}
+	if err := s.queue.Enqueue(r); err != nil {
+		s.metrics.Rejected++
+	}
+}
+
+// place provisions a single request right now; returns false if the
+// placer could not fit it (so it should queue instead).
+func (s *Simulator) place(r model.TimedRequest, now float64) bool {
+	alloc, err := s.placer.Place(s.topo, s.inv.Remaining(), r.Vector)
+	if err != nil {
+		return false
+	}
+	if err := s.inv.Allocate([][]int(alloc)); err != nil {
+		return false
+	}
+	s.commission(r, alloc, now)
+	return true
+}
+
+// commission records a served cluster and schedules its departure.
+func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, now float64) {
+	s.sampleUtilization(now)
+	s.usedSlots += alloc.TotalVMs()
+	d, _ := alloc.Distance(s.topo)
+	s.metrics.Served++
+	s.metrics.Distances = append(s.metrics.Distances, d)
+	s.metrics.TotalDistance += d
+	s.metrics.Waits = append(s.metrics.Waits, now-s.arrivals[r.ID])
+	id := s.nextRun
+	s.nextRun++
+	s.running[id] = alloc
+	_, _ = s.engine.After(r.Hold, func(at float64) { s.depart(id, at) })
+}
+
+func (s *Simulator) depart(id int, now float64) {
+	alloc := s.running[id]
+	delete(s.running, id)
+	s.sampleUtilization(now)
+	s.usedSlots -= alloc.TotalVMs()
+	d, _ := alloc.Distance(s.topo)
+	s.metrics.FinalDistanceSum += d
+	if err := s.inv.Release([][]int(alloc)); err != nil {
+		// A release failure means the simulator corrupted its own
+		// bookkeeping; make it loud.
+		panic("cloudsim: release failed: " + err.Error())
+	}
+	s.drain(now)
+	if s.cfg.Migrate {
+		s.migrate()
+	}
+}
+
+// migrate tightens the running clusters into freed capacity. Relocations
+// are reflected in the inventory with Move; swaps are capacity-neutral
+// and need no inventory change.
+func (s *Simulator) migrate() {
+	if len(s.running) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	// Deterministic order for reproducibility.
+	sortInts(ids)
+	clusters := make([]affinity.Allocation, len(ids))
+	for i, id := range ids {
+		clusters[i] = s.running[id]
+	}
+	plan, err := s.mig.Plan(s.topo, s.inv.Remaining(), clusters)
+	if err != nil || len(plan.Moves) == 0 {
+		return
+	}
+	// The plan was computed against the current (single-threaded) state,
+	// so it applies cleanly: relocations go through the inventory (which
+	// tracks per-node occupancy), swaps are capacity-neutral.
+	for _, mv := range plan.Moves {
+		c := clusters[mv.Cluster]
+		switch mv.Kind {
+		case migration.Relocate:
+			if err := s.inv.Move(mv.From, mv.To, mv.Type); err != nil {
+				return
+			}
+			c.Remove(mv.From, mv.Type)
+			c.Add(mv.To, mv.Type)
+		case migration.Swap:
+			peer := clusters[mv.Peer]
+			c.Remove(mv.From, mv.Type)
+			c.Add(mv.To, mv.Type)
+			peer.Remove(mv.To, mv.Type)
+			peer.Add(mv.From, mv.Type)
+		}
+		s.metrics.Migrations++
+		s.metrics.MigrationMB += mv.CostMB
+		s.metrics.MigrationGain += mv.Gain
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// drain admits whatever the queue can serve with the freed resources.
+func (s *Simulator) drain(now float64) {
+	var taken []model.TimedRequest
+	if s.cfg.Strict {
+		taken = s.queue.GetRequestsStrict(s.inv.Available())
+	} else {
+		taken = s.queue.GetRequests(s.inv.Available())
+	}
+	if len(taken) == 0 {
+		return
+	}
+	if s.cfg.Batch && len(taken) > 1 {
+		vecs := make([]model.Request, len(taken))
+		for i, r := range taken {
+			vecs[i] = r.Vector
+		}
+		res, err := s.global.PlaceBatch(s.topo, s.inv.Remaining(), vecs)
+		if err == nil {
+			for i, alloc := range res.Allocs {
+				if alloc == nil {
+					// Lost a race against capacity; requeue.
+					_ = s.queue.Enqueue(taken[i])
+					continue
+				}
+				if err := s.inv.Allocate([][]int(alloc)); err != nil {
+					_ = s.queue.Enqueue(taken[i])
+					continue
+				}
+				s.commission(taken[i], alloc, now)
+			}
+			return
+		}
+	}
+	for _, r := range taken {
+		if !s.place(r, now) {
+			_ = s.queue.Enqueue(r)
+		}
+	}
+}

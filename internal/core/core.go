@@ -1,0 +1,279 @@
+// Package core is the top-level API of the affinity-aware virtual cluster
+// library — the paper's primary contribution packaged for use. A
+// Provisioner owns a physical topology and a live inventory and serves
+// virtual-cluster requests with an affinity-aware placement strategy:
+//
+//	prov, _ := core.NewProvisioner(topo, capacities, core.Options{})
+//	vc, _ := prov.Provision(model.Request{2, 4, 1})
+//	fmt.Println(vc.Distance, vc.Center)
+//	defer vc.Release()
+//
+// Placement minimizes the paper's cluster-distance metric DC(C)
+// (Definition 1) using the online heuristic (Algorithm 1); batches of
+// requests can be served together with the global sub-optimization
+// (Algorithm 2); and the exact ILP-grade optimum is available for
+// validation via SolveExact.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/inventory"
+	"affinitycluster/internal/jointopt"
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/sdexact"
+	"affinitycluster/internal/topology"
+)
+
+// Strategy selects the placement algorithm of a Provisioner.
+type Strategy int
+
+const (
+	// OnlineHeuristic is the paper's Algorithm 1 (default).
+	OnlineHeuristic Strategy = iota
+	// FirstFit packs nodes in ID order, affinity-blind.
+	FirstFit
+	// RoundRobin stripes VMs across nodes, maximizing spread.
+	RoundRobin
+	// PackBestFit fills the highest-capacity node first.
+	PackBestFit
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case OnlineHeuristic:
+		return "online-heuristic"
+	case FirstFit:
+		return "first-fit"
+	case RoundRobin:
+		return "round-robin"
+	case PackBestFit:
+		return "pack-best-fit"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a Provisioner.
+type Options struct {
+	// Strategy selects the single-request placement algorithm.
+	Strategy Strategy
+	// Catalog documents the VM types; defaults to model.DefaultCatalog().
+	// Its length must match the capacity matrix's column count.
+	Catalog model.Catalog
+}
+
+// Provisioner serves virtual-cluster requests against a live inventory.
+// It is safe for concurrent use: placement plans against a snapshot and
+// commits atomically, retrying when a concurrent commit wins the race.
+type Provisioner struct {
+	topo    *topology.Topology
+	inv     *inventory.Inventory
+	placer  placement.Placer
+	catalog model.Catalog
+
+	mu     sync.Mutex // serializes plan+commit so retries are bounded
+	global *placement.GlobalSubOpt
+}
+
+// Cluster is one provisioned virtual cluster.
+type Cluster struct {
+	// Alloc is the paper's allocation matrix C.
+	Alloc affinity.Allocation
+	// Distance is DC(C) under the minimizing central node.
+	Distance float64
+	// Center is the minimizing central node (the natural master /
+	// JobTracker host for a MapReduce deployment).
+	Center topology.NodeID
+
+	prov     *Provisioner
+	released bool
+	relMu    sync.Mutex
+}
+
+// NewProvisioner builds a provisioner over a topology and a capacity
+// matrix M (nodes × types).
+func NewProvisioner(topo *topology.Topology, capacities [][]int, opts Options) (*Provisioner, error) {
+	if topo == nil {
+		return nil, errors.New("core: nil topology")
+	}
+	inv, err := inventory.NewFromMatrix(capacities)
+	if err != nil {
+		return nil, err
+	}
+	if inv.Nodes() != topo.Nodes() {
+		return nil, fmt.Errorf("core: capacity matrix has %d rows, topology has %d nodes", inv.Nodes(), topo.Nodes())
+	}
+	catalog := opts.Catalog
+	if catalog == nil {
+		catalog = model.DefaultCatalog()
+	}
+	if catalog.Types() != inv.Types() {
+		return nil, fmt.Errorf("core: catalog has %d types, capacity matrix has %d columns", catalog.Types(), inv.Types())
+	}
+	if err := catalog.Validate(); err != nil {
+		return nil, err
+	}
+	var p placement.Placer
+	switch opts.Strategy {
+	case FirstFit:
+		p = placement.FirstFit{}
+	case RoundRobin:
+		p = placement.RoundRobinStripe{}
+	case PackBestFit:
+		p = placement.PackBestFit{}
+	default:
+		p = &placement.OnlineHeuristic{}
+	}
+	return &Provisioner{
+		topo:    topo,
+		inv:     inv,
+		placer:  p,
+		catalog: catalog,
+		global:  &placement.GlobalSubOpt{},
+	}, nil
+}
+
+// Topology returns the physical plant.
+func (p *Provisioner) Topology() *topology.Topology { return p.topo }
+
+// Catalog returns the VM type catalog.
+func (p *Provisioner) Catalog() model.Catalog { return p.catalog }
+
+// Available returns the current availability vector A.
+func (p *Provisioner) Available() []int { return p.inv.Available() }
+
+// Remaining returns a snapshot of the remaining capacity matrix L.
+func (p *Provisioner) Remaining() [][]int { return p.inv.Remaining() }
+
+// CanSatisfy reports whether the request fits the current availability.
+func (p *Provisioner) CanSatisfy(r model.Request) bool { return p.inv.CanSatisfy(r) }
+
+// ErrUnsatisfiable is returned when a request exceeds the current
+// availability (callers may queue and retry after a Release).
+var ErrUnsatisfiable = errors.New("core: request exceeds available resources")
+
+// Provision places one request, commits it, and returns the cluster.
+func (p *Provisioner) Provision(r model.Request) (*Cluster, error) {
+	if err := r.Validate(p.catalog); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alloc, err := p.placer.Place(p.topo, p.inv.Remaining(), r)
+	if err != nil {
+		if errors.Is(err, placement.ErrInsufficient) {
+			return nil, fmt.Errorf("%w: %v", ErrUnsatisfiable, err)
+		}
+		return nil, err
+	}
+	if err := p.inv.Allocate([][]int(alloc)); err != nil {
+		return nil, err
+	}
+	d, k := alloc.Distance(p.topo)
+	return &Cluster{Alloc: alloc, Distance: d, Center: k, prov: p}, nil
+}
+
+// ProvisionBatch places a batch together using the global
+// sub-optimization algorithm (Algorithm 2) and commits the successful
+// allocations. The returned slice is parallel to reqs; entries whose
+// request could not be placed are nil.
+func (p *Provisioner) ProvisionBatch(reqs []model.Request) ([]*Cluster, error) {
+	for _, r := range reqs {
+		if err := r.Validate(p.catalog); err != nil {
+			return nil, err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, err := p.global.PlaceBatch(p.topo, p.inv.Remaining(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Cluster, len(reqs))
+	for i, alloc := range res.Allocs {
+		if alloc == nil {
+			continue
+		}
+		if err := p.inv.Allocate([][]int(alloc)); err != nil {
+			// Cannot happen while p.mu is held; surface loudly if it does.
+			return nil, fmt.Errorf("core: batch commit failed at request %d: %w", i, err)
+		}
+		d, k := alloc.Distance(p.topo)
+		out[i] = &Cluster{Alloc: alloc, Distance: d, Center: k, prov: p}
+	}
+	return out, nil
+}
+
+// ProvisionForJob places a request with an objective tuned to the
+// MapReduce job the cluster will run (shuffle-heavy jobs weight pairwise
+// affinity, master-bound jobs weight DC) and commits it.
+func (p *Provisioner) ProvisionForJob(r model.Request, job mapreduce.JobSpec) (*Cluster, error) {
+	if err := r.Validate(p.catalog); err != nil {
+		return nil, err
+	}
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jp := &jointopt.Placer{Profile: jointopt.ProfileFor(job)}
+	alloc, err := jp.Place(p.topo, p.inv.Remaining(), r)
+	if err != nil {
+		if errors.Is(err, placement.ErrInsufficient) {
+			return nil, fmt.Errorf("%w: %v", ErrUnsatisfiable, err)
+		}
+		return nil, err
+	}
+	if err := p.inv.Allocate([][]int(alloc)); err != nil {
+		return nil, err
+	}
+	d, k := alloc.Distance(p.topo)
+	return &Cluster{Alloc: alloc, Distance: d, Center: k, prov: p}, nil
+}
+
+// SolveExact returns the provably optimal SD allocation for the request
+// under the current availability without committing it — for validation
+// and what-if analysis.
+func (p *Provisioner) SolveExact(r model.Request) (affinity.Allocation, float64, error) {
+	if err := r.Validate(p.catalog); err != nil {
+		return nil, 0, err
+	}
+	res, err := sdexact.SolveSD(p.topo, p.inv.Remaining(), r)
+	if err != nil {
+		if errors.Is(err, sdexact.ErrInfeasible) {
+			return nil, 0, ErrUnsatisfiable
+		}
+		return nil, 0, err
+	}
+	return res.Alloc, res.Distance, nil
+}
+
+// Release returns the cluster's resources to the pool. Releasing twice is
+// a safe no-op.
+func (c *Cluster) Release() error {
+	c.relMu.Lock()
+	defer c.relMu.Unlock()
+	if c.released {
+		return nil
+	}
+	if err := c.prov.inv.Release([][]int(c.Alloc)); err != nil {
+		return err
+	}
+	c.released = true
+	return nil
+}
+
+// PairwiseAffinity returns the experiment-metric affinity of the cluster
+// (sum of pairwise VM distances).
+func (c *Cluster) PairwiseAffinity() float64 {
+	return c.Alloc.PairwiseAffinity(c.prov.topo)
+}
+
+// VMs returns the total VM count.
+func (c *Cluster) VMs() int { return c.Alloc.TotalVMs() }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+func plantAndCaps(t *testing.T) (*topology.Topology, [][]int) {
+	t.Helper()
+	tp := topology.PaperSimPlant()
+	caps, err := workload.RandomCapacities(11, tp.Nodes(), 3, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, caps
+}
+
+func TestNewProvisionerValidation(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	if _, err := NewProvisioner(nil, caps, Options{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewProvisioner(tp, [][]int{{1}}, Options{}); err == nil {
+		t.Error("mismatched capacities accepted")
+	}
+	if _, err := NewProvisioner(tp, caps, Options{Catalog: model.Catalog{{Name: "x", MemoryGB: 1, ComputeUnits: 1, StorageGB: 1}}}); err == nil {
+		t.Error("catalog/type mismatch accepted")
+	}
+	p, err := NewProvisioner(tp, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Catalog().Types() != 3 || p.Topology() != tp {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestProvisionAndRelease(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, err := NewProvisioner(tp, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Available()
+	req := model.Request{2, 3, 1}
+	if !p.CanSatisfy(req) {
+		t.Skip("random capacities cannot satisfy the request")
+	}
+	vc, err := p.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vc.Alloc.Satisfies(req) {
+		t.Error("allocation does not satisfy request")
+	}
+	if vc.VMs() != 6 {
+		t.Errorf("VMs = %d", vc.VMs())
+	}
+	if vc.Distance < 0 || vc.Center < 0 {
+		t.Errorf("distance %v center %d", vc.Distance, vc.Center)
+	}
+	if vc.PairwiseAffinity() < 0 {
+		t.Error("negative affinity")
+	}
+	mid := p.Available()
+	if mid[0] != before[0]-2 || mid[1] != before[1]-3 || mid[2] != before[2]-1 {
+		t.Errorf("availability not debited: %v -> %v", before, mid)
+	}
+	if err := vc.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Release(); err != nil {
+		t.Errorf("double release errored: %v", err)
+	}
+	after := p.Available()
+	for j := range before {
+		if after[j] != before[j] {
+			t.Errorf("availability not restored: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestProvisionValidatesRequest(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, _ := NewProvisioner(tp, caps, Options{})
+	if _, err := p.Provision(model.Request{1, 2}); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := p.Provision(model.Request{0, 0, 0}); err == nil {
+		t.Error("zero request accepted")
+	}
+	_, err := p.Provision(model.Request{10000, 0, 0})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	for _, s := range []Strategy{OnlineHeuristic, FirstFit, RoundRobin, PackBestFit} {
+		p, err := NewProvisioner(tp, caps, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		vc, err := p.Provision(model.Request{2, 1, 0})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !vc.Alloc.Satisfies(model.Request{2, 1, 0}) {
+			t.Errorf("%v: request not satisfied", s)
+		}
+	}
+	if OnlineHeuristic.String() != "online-heuristic" || Strategy(42).String() != "Strategy(42)" {
+		t.Error("Strategy strings wrong")
+	}
+}
+
+func TestProvisionBatch(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, _ := NewProvisioner(tp, caps, Options{})
+	reqs := []model.Request{{1, 1, 0}, {2, 0, 1}, {0, 2, 0}}
+	clusters, err := p.ProvisionBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	for i, vc := range clusters {
+		if vc == nil {
+			continue
+		}
+		if !vc.Alloc.Satisfies(reqs[i]) {
+			t.Errorf("cluster %d wrong vector", i)
+		}
+		if err := vc.Release(); err != nil {
+			t.Errorf("release %d: %v", i, err)
+		}
+	}
+	if _, err := p.ProvisionBatch([]model.Request{{1}}); err == nil {
+		t.Error("batch with short request accepted")
+	}
+}
+
+func TestSolveExactDoesNotCommit(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, _ := NewProvisioner(tp, caps, Options{})
+	before := p.Available()
+	alloc, d, err := p.SolveExact(model.Request{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Satisfies(model.Request{2, 1, 0}) {
+		t.Error("exact allocation wrong")
+	}
+	after := p.Available()
+	for j := range before {
+		if before[j] != after[j] {
+			t.Error("SolveExact committed resources")
+		}
+	}
+	// Heuristic can never beat the exact optimum.
+	vc, err := p.Provision(model.Request{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Distance < d-1e-9 {
+		t.Errorf("heuristic %v beat exact %v", vc.Distance, d)
+	}
+	if _, _, err := p.SolveExact(model.Request{10000, 0, 0}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := p.SolveExact(model.Request{1}); err == nil {
+		t.Error("short request accepted")
+	}
+}
+
+func TestProvisionForJob(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, _ := NewProvisioner(tp, caps, Options{})
+	req := model.Request{3, 2, 0}
+	vc, err := p.ProvisionForJob(req, mapreduce.TeraSort("input", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vc.Alloc.Satisfies(req) {
+		t.Error("job-aware placement wrong vector")
+	}
+	if err := vc.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad inputs.
+	if _, err := p.ProvisionForJob(model.Request{1}, mapreduce.Grep("f")); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := p.ProvisionForJob(req, mapreduce.JobSpec{}); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if _, err := p.ProvisionForJob(model.Request{10000, 0, 0}, mapreduce.Grep("f")); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentProvisionRelease(t *testing.T) {
+	tp, caps := plantAndCaps(t)
+	p, _ := NewProvisioner(tp, caps, Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				vc, err := p.Provision(model.Request{1, 1, 0})
+				if err != nil {
+					if errors.Is(err, ErrUnsatisfiable) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if err := vc.Release(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Everything returned: a fresh provisioner over the same caps shows
+	// the same availability.
+	fresh, _ := NewProvisioner(tp, caps, Options{})
+	a, b := p.Available(), fresh.Available()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Errorf("leaked resources: %v vs %v", a, b)
+		}
+	}
+}

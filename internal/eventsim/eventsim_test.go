@@ -1,0 +1,191 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := e.At(at, func(now float64) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final clock = %v", end)
+	}
+	if !sort.Float64sAreSorted(fired) || len(fired) != 5 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestFIFOWithinSameTimestamp(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		_, _ = e.At(1, func(float64) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := New()
+	var at2, at5 float64
+	_, _ = e.At(2, func(now float64) {
+		at2 = now
+		_, _ = e.After(3, func(now float64) { at5 = now })
+	})
+	e.Run()
+	if at2 != 2 || at5 != 5 {
+		t.Errorf("at2=%v at5=%v", at2, at5)
+	}
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestSchedulingInPastRejected(t *testing.T) {
+	e := New()
+	_, _ = e.At(5, func(float64) {})
+	e.Run()
+	if _, err := e.At(3, func(float64) {}); err == nil {
+		t.Error("past scheduling accepted")
+	}
+	if _, err := e.After(-1, func(float64) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := e.At(6, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev, _ := e.At(1, func(float64) { fired = true })
+	if !e.Cancel(ev) {
+		t.Error("Cancel returned false for live event")
+	}
+	if e.Cancel(ev) {
+		t.Error("double Cancel returned true")
+	}
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var fired []float64
+	var evs []*Event
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		ev, _ := e.At(at, func(now float64) { fired = append(fired, now) })
+		evs = append(evs, ev)
+	}
+	e.Cancel(evs[2]) // cancel t=3
+	e.Run()
+	want := []float64{1, 2, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v", fired)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		_, _ = e.At(at, func(now float64) { fired = append(fired, now) })
+	}
+	now := e.RunUntil(5)
+	if now != 5 {
+		t.Errorf("clock = %v, want 5", now)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 10 {
+		t.Errorf("after full run: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty returned true")
+	}
+	if e.Run() != 0 {
+		t.Error("Run on empty advanced the clock")
+	}
+}
+
+// Property: random schedules always fire in non-decreasing time order and
+// the count matches.
+func TestQuickTimeOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		n := 1 + r.Intn(50)
+		var fired []float64
+		for i := 0; i < n; i++ {
+			_, err := e.At(r.Float64()*100, func(now float64) { fired = append(fired, now) })
+			if err != nil {
+				return false
+			}
+		}
+		e.Run()
+		return len(fired) == n && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cascading events (each schedules a successor) run to
+// completion with a monotone clock.
+func TestQuickCascade(t *testing.T) {
+	f := func(stepsRaw uint8) bool {
+		steps := int(stepsRaw%20) + 1
+		e := New()
+		count := 0
+		var schedule func()
+		schedule = func() {
+			_, _ = e.After(1, func(float64) {
+				count++
+				if count < steps {
+					schedule()
+				}
+			})
+		}
+		schedule()
+		end := e.Run()
+		return count == steps && end == float64(steps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

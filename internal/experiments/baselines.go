@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/stats"
+	"affinitycluster/internal/workload"
+)
+
+// BaselineRow summarizes one placement strategy over the paper's 20
+// sequential requests.
+type BaselineRow struct {
+	Strategy     string
+	Placed       int
+	Failed       int
+	Total        float64 // Σ DC
+	MeanPerReq   float64
+	MeanAffinity float64 // mean pairwise affinity (the shuffle metric)
+}
+
+// BaselineResult compares every placer on one instance.
+type BaselineResult struct {
+	Rows []BaselineRow
+}
+
+// BaselineComparison runs the paper's simulation workload through the
+// affinity-aware heuristic and every affinity-blind baseline,
+// reporting the distance and affinity each produces — the evaluation a
+// provider would use to justify adopting affinity-aware placement.
+func BaselineComparison(seed int64) (*BaselineResult, error) {
+	setup, err := NewPaperSetup(seed, workload.Normal)
+	if err != nil {
+		return nil, err
+	}
+	placers := []placement.Placer{
+		&placement.OnlineHeuristic{},
+		placement.FirstFit{},
+		placement.PackBestFit{},
+		placement.RoundRobinStripe{},
+		&placement.Random{Rand: rand.New(rand.NewSource(seed + 7))},
+	}
+	out := &BaselineResult{}
+	for _, p := range placers {
+		res, err := placement.PlaceSequential(setup.Topo, setup.Caps, setup.Requests, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", p.Name(), err)
+		}
+		row := BaselineRow{Strategy: p.Name(), Failed: res.Failed}
+		var affSum float64
+		for _, a := range res.Allocs {
+			if a == nil {
+				continue
+			}
+			row.Placed++
+			d, _ := a.Distance(setup.Topo)
+			row.Total += d
+			affSum += a.PairwiseAffinity(setup.Topo)
+		}
+		if row.Placed > 0 {
+			row.MeanPerReq = row.Total / float64(row.Placed)
+			row.MeanAffinity = affSum / float64(row.Placed)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the comparison table.
+func (r *BaselineResult) Render() string {
+	t := &stats.Table{Header: []string{"strategy", "placed", "failed", "total DC", "mean DC", "mean affinity"}}
+	for _, row := range r.Rows {
+		t.Add(row.Strategy, row.Placed, row.Failed, row.Total, row.MeanPerReq, row.MeanAffinity)
+	}
+	return "Baseline comparison over the paper's 20-request workload\n" + t.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/dfs"
+	"affinitycluster/internal/eventsim"
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/netmodel"
+	"affinitycluster/internal/stats"
+	"affinitycluster/internal/vcluster"
+)
+
+// SweepRow is one point of the shuffle-selectivity sweep: how much a
+// compact cluster beats a spread one as the job's shuffle volume grows.
+type SweepRow struct {
+	Selectivity   float64
+	CompactSec    float64
+	SpreadSec     float64
+	SpeedupPct    float64 // (spread − compact) / compact × 100
+	RemoteShuffle float64 // MB the spread cluster moved cross-rack
+}
+
+// SweepResult is the full sweep.
+type SweepResult struct {
+	Rows []SweepRow
+}
+
+// SelectivitySweep quantifies the paper's motivation quantitatively: the
+// benefit of affinity-aware placement grows with the job's shuffle
+// volume. It runs a parameterized job (WordCount shape with varying map
+// selectivity, 4 reducers) on the most compact and the most spread of the
+// four experiment clusters.
+func SelectivitySweep(seed int64, selectivities []float64) (*SweepResult, error) {
+	if len(selectivities) == 0 {
+		selectivities = []float64{0.01, 0.25, 0.5, 1.0, 1.5}
+	}
+	tops, err := MRTopologies()
+	if err != nil {
+		return nil, err
+	}
+	compact := tops[0]
+	spread := tops[len(tops)-1]
+	cfg := DefaultMRExperimentConfig(seed)
+	out := &SweepResult{}
+	for _, sel := range selectivities {
+		if sel < 0 {
+			return nil, fmt.Errorf("experiments: negative selectivity %v", sel)
+		}
+		job := mapreduce.WordCount("input")
+		job.Name = fmt.Sprintf("sweep-%.2f", sel)
+		job.MapSelectivity = sel
+		job.NumReduces = 4
+		cSec, _, err := runSweepJob(compact.Alloc, cfg, job)
+		if err != nil {
+			return nil, err
+		}
+		sSec, remote, err := runSweepJob(spread.Alloc, cfg, job)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{
+			Selectivity:   sel,
+			CompactSec:    cSec,
+			SpreadSec:     sSec,
+			RemoteShuffle: remote,
+		}
+		if cSec > 0 {
+			row.SpeedupPct = (sSec - cSec) / cSec * 100
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func runSweepJob(alloc affinity.Allocation, cfg MRExperimentConfig, job mapreduce.JobSpec) (runtime, remoteMB float64, err error) {
+	tp, err := mrPlant()
+	if err != nil {
+		return 0, 0, err
+	}
+	cluster, err := vcluster.FromAllocation(tp, alloc)
+	if err != nil {
+		return 0, 0, err
+	}
+	engine := eventsim.New()
+	net, err := netmodel.NewFlowSim(engine, tp, cfg.Net)
+	if err != nil {
+		return 0, 0, err
+	}
+	fsys, err := dfs.New(cluster, cfg.DFS)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := fsys.WriteRotating("input", cfg.InputMB); err != nil {
+		return 0, 0, err
+	}
+	sim, err := mapreduce.New(engine, net, cluster, fsys, cfg.Sim)
+	if err != nil {
+		return 0, 0, err
+	}
+	counters, err := sim.Run(job)
+	if err != nil {
+		return 0, 0, err
+	}
+	return counters.Runtime, counters.ShuffleRemoteMB, nil
+}
+
+// Render prints the sweep as a table.
+func (r *SweepResult) Render() string {
+	t := &stats.Table{Header: []string{"selectivity", "compact (s)", "spread (s)", "speedup %", "remote shuffle MB"}}
+	for _, row := range r.Rows {
+		t.Add(row.Selectivity, row.CompactSec, row.SpreadSec, row.SpeedupPct, row.RemoteShuffle)
+	}
+	return "Supplementary: affinity benefit vs shuffle selectivity\n" + t.String()
+}

@@ -1,0 +1,243 @@
+// Package integration ties the subsystems together end to end: the tests
+// here cross module boundaries on purpose — provisioning through the core
+// facade and executing MapReduce on the provisioned cluster, replaying
+// recorded traces through the cloud simulator, and placing on topologies
+// inferred from latency probes.
+package integration
+
+import (
+	"bytes"
+	"testing"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/cloudsim"
+	"affinitycluster/internal/core"
+	"affinitycluster/internal/dfs"
+	"affinitycluster/internal/eventsim"
+	"affinitycluster/internal/inventory"
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/netmodel"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/probing"
+	"affinitycluster/internal/sdexact"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/trace"
+	"affinitycluster/internal/vcluster"
+	"affinitycluster/internal/workload"
+)
+
+// runJobOn executes a WordCount on an allocation and returns its counters.
+func runJobOn(t *testing.T, topo *topology.Topology, alloc affinity.Allocation) *mapreduce.Counters {
+	t.Helper()
+	cluster, err := vcluster.FromAllocation(topo, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := eventsim.New()
+	netCfg := netmodel.DefaultConfig()
+	netCfg.RackUplinkMBps = 80
+	net, err := netmodel.NewFlowSim(engine, topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := dfs.New(cluster, dfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.WriteRotating("input", 16*64); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := mapreduce.New(engine, net, cluster, fsys, mapreduce.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := sim.Run(mapreduce.WordCount("input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counters
+}
+
+// TestProvisionThenExecute is the full pipeline the paper envisions: a
+// user requests a virtual cluster, the provider places it affinity-aware,
+// and the MapReduce job on it beats the same job on an affinity-blind
+// cluster of equal capability.
+func TestProvisionThenExecute(t *testing.T) {
+	topo, err := topology.Uniform(1, 4, 4, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([][]int, topo.Nodes())
+	for i := range caps {
+		caps[i] = []int{2}
+	}
+	req := model.Request{8}
+	catalog := model.Catalog{{Name: "worker", MemoryGB: 4, ComputeUnits: 2, StorageGB: 100, Platform: "64-bit"}}
+
+	provAffine, err := core.NewProvisioner(topo, caps, core.Options{Catalog: catalog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affine, err := provAffine.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provBlind, err := core.NewProvisioner(topo, caps, core.Options{Strategy: core.RoundRobin, Catalog: catalog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := provBlind.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affine.PairwiseAffinity() >= blind.PairwiseAffinity() {
+		t.Fatalf("affinity-aware cluster not tighter: %v vs %v",
+			affine.PairwiseAffinity(), blind.PairwiseAffinity())
+	}
+	cAffine := runJobOn(t, topo, affine.Alloc)
+	cBlind := runJobOn(t, topo, blind.Alloc)
+	if cAffine.Runtime >= cBlind.Runtime {
+		t.Errorf("affinity-aware cluster not faster: %.2fs vs %.2fs", cAffine.Runtime, cBlind.Runtime)
+	}
+	if cAffine.ShuffleRemoteMB > cBlind.ShuffleRemoteMB {
+		t.Errorf("affinity-aware cluster shuffles more cross-rack: %v vs %v",
+			cAffine.ShuffleRemoteMB, cBlind.ShuffleRemoteMB)
+	}
+	if err := affine.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := blind.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceRecordReplay checks that a recorded trace replayed through the
+// cloud simulator reproduces metrics exactly.
+func TestTraceRecordReplay(t *testing.T) {
+	topo := topology.PaperSimPlant()
+	reqs, err := workload.RandomRequests(31, 25, 3, workload.Normal, workload.DefaultRequestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := workload.TimedRequests(32, reqs, workload.DefaultArrivalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New("integration", 3, timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(requests []model.TimedRequest) *cloudsim.Metrics {
+		caps, err := workload.RandomCapacities(33, topo.Nodes(), 3, workload.DefaultInventoryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := inventory.NewFromMatrix(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := cloudsim.New(topo, inv, &placement.OnlineHeuristic{}, cloudsim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run(requests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	orig := run(timed)
+	replay := run(replayed.Requests)
+	if orig.Served != replay.Served || orig.TotalDistance != replay.TotalDistance ||
+		orig.MakeSpan != replay.MakeSpan {
+		t.Errorf("replay diverged: %+v vs %+v", orig, replay)
+	}
+}
+
+// TestInferredTopologyPlacementMatchesTruth places the same request on
+// the ground-truth topology and on the probe-inferred one; with clean
+// inference the distances agree up to the measured tier values.
+func TestInferredTopologyPlacementMatchesTruth(t *testing.T) {
+	truth, err := topology.Uniform(1, 3, 4, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := probing.NewSampler(truth, 51, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := probing.NewEstimator(truth.Nodes(), probing.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sampler.Campaign(est, 6); err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := est.InferTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := workload.RandomCapacities(52, truth.Nodes(), 2, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := model.Request{5, 2}
+	h := &placement.OnlineHeuristic{}
+	onTruth, err := h.Place(truth, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onInferred, err := h.Place(inferred, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both allocations under the TRUE distances: placing on the
+	// inferred topology must not be worse than a whole distance tier.
+	dTruth, _ := onTruth.Distance(truth)
+	dInferred, _ := onInferred.Distance(truth)
+	if dInferred > dTruth+truth.Distances().SameRack {
+		t.Errorf("placement on inferred topology much worse: %v vs %v", dInferred, dTruth)
+	}
+}
+
+// TestExactSolverAgreementAtScale cross-checks the three exact SD paths
+// on the full paper plant.
+func TestExactSolverAgreementAtScale(t *testing.T) {
+	topo := topology.PaperSimPlant()
+	caps, err := workload.RandomCapacities(61, topo.Nodes(), 3, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := model.Request{4, 3, 2}
+	greedy, err := sdexact.SolveSD(topo, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := sdexact.SolveSDMCMF(topo, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Distance != flow.Distance {
+		t.Errorf("greedy %v != mcmf %v", greedy.Distance, flow.Distance)
+	}
+	// The heuristic on the same instance is bounded below by the optimum.
+	h := &placement.OnlineHeuristic{}
+	alloc, err := h.Place(topo, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := alloc.Distance(topo)
+	if d < greedy.Distance-1e-9 {
+		t.Errorf("heuristic %v below optimum %v", d, greedy.Distance)
+	}
+}

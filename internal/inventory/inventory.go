@@ -1,0 +1,369 @@
+// Package inventory tracks the resource bookkeeping of Section II of the
+// paper: the capacity matrix M (maximum VMs per node per type), the
+// allocation matrix C (currently placed VMs), the remaining matrix
+// L = M − C, and the availability vector A with A_j = Σ_i L_ij.
+//
+// An Inventory is safe for concurrent use; the placement algorithms take
+// snapshots (Remaining, Available) and commit allocations atomically with
+// Allocate.
+package inventory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// ErrInsufficient is returned by Allocate when the requested VMs exceed the
+// remaining capacity of some node. The caller's view was stale or the
+// placement was computed against a different snapshot.
+var ErrInsufficient = errors.New("inventory: insufficient remaining capacity")
+
+// Inventory is the mutable resource state of one cloud.
+type Inventory struct {
+	mu      sync.RWMutex
+	nodes   int
+	types   int
+	max     [][]int // M
+	alloc   [][]int // C (aggregate over all tenants)
+	remain  [][]int // L = M − C, kept incrementally
+	avail   []int   // A_j = Σ_i L_ij, kept incrementally
+	version uint64  // bumps on every successful mutation
+}
+
+// New creates an inventory for nodes × types with zero capacity everywhere.
+// Use SetCapacity or NewFromMatrix to install capacities.
+func New(nodes, types int) *Inventory {
+	if nodes <= 0 || types <= 0 {
+		panic(fmt.Sprintf("inventory: New(%d, %d) needs positive dimensions", nodes, types))
+	}
+	inv := &Inventory{
+		nodes:  nodes,
+		types:  types,
+		max:    newMatrix(nodes, types),
+		alloc:  newMatrix(nodes, types),
+		remain: newMatrix(nodes, types),
+		avail:  make([]int, types),
+	}
+	return inv
+}
+
+// NewFromMatrix creates an inventory whose capacity matrix M is a copy of
+// max. Every entry must be non-negative.
+func NewFromMatrix(max [][]int) (*Inventory, error) {
+	if len(max) == 0 || len(max[0]) == 0 {
+		return nil, errors.New("inventory: empty capacity matrix")
+	}
+	inv := New(len(max), len(max[0]))
+	for i, row := range max {
+		if len(row) != inv.types {
+			return nil, fmt.Errorf("inventory: ragged capacity matrix at row %d", i)
+		}
+		for j, k := range row {
+			if k < 0 {
+				return nil, fmt.Errorf("inventory: negative capacity M[%d][%d] = %d", i, j, k)
+			}
+			inv.max[i][j] = k
+			inv.remain[i][j] = k
+			inv.avail[j] += k
+		}
+	}
+	return inv, nil
+}
+
+func newMatrix(n, m int) [][]int {
+	rows := make([][]int, n)
+	flat := make([]int, n*m)
+	for i := range rows {
+		rows[i] = flat[i*m : (i+1)*m]
+	}
+	return rows
+}
+
+func cloneMatrix(src [][]int) [][]int {
+	out := newMatrix(len(src), len(src[0]))
+	for i := range src {
+		copy(out[i], src[i])
+	}
+	return out
+}
+
+// Nodes returns the node dimension n.
+func (inv *Inventory) Nodes() int { return inv.nodes }
+
+// Types returns the VM type dimension m.
+func (inv *Inventory) Types() int { return inv.types }
+
+// SetCapacity sets M[node][vt] = k (k ≥ 0) for an empty node. It fails if
+// VMs are currently allocated on the node for that type beyond k.
+func (inv *Inventory) SetCapacity(node topology.NodeID, vt model.VMTypeID, k int) error {
+	if k < 0 {
+		return fmt.Errorf("inventory: negative capacity %d", k)
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	i, j := int(node), int(vt)
+	if i < 0 || i >= inv.nodes || j < 0 || j >= inv.types {
+		return fmt.Errorf("inventory: SetCapacity(%d, %d) out of range %dx%d", i, j, inv.nodes, inv.types)
+	}
+	if inv.alloc[i][j] > k {
+		return fmt.Errorf("inventory: node %d already has %d allocated VMs of type %d, cannot shrink capacity to %d",
+			i, inv.alloc[i][j], j, k)
+	}
+	old := inv.max[i][j]
+	inv.max[i][j] = k
+	inv.remain[i][j] = k - inv.alloc[i][j]
+	inv.avail[j] += k - old
+	inv.version++
+	return nil
+}
+
+// Capacity returns M[node][vt].
+func (inv *Inventory) Capacity(node topology.NodeID, vt model.VMTypeID) int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return inv.max[node][vt]
+}
+
+// Allocated returns C[node][vt].
+func (inv *Inventory) Allocated(node topology.NodeID, vt model.VMTypeID) int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return inv.alloc[node][vt]
+}
+
+// RemainingAt returns L[node][vt] = M[node][vt] − C[node][vt].
+func (inv *Inventory) RemainingAt(node topology.NodeID, vt model.VMTypeID) int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return inv.remain[node][vt]
+}
+
+// Remaining returns a copy of the full remaining matrix L. Placement
+// algorithms plan against this snapshot and then commit with Allocate.
+func (inv *Inventory) Remaining() [][]int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return cloneMatrix(inv.remain)
+}
+
+// CapacityMatrix returns a copy of M.
+func (inv *Inventory) CapacityMatrix() [][]int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return cloneMatrix(inv.max)
+}
+
+// AllocatedMatrix returns a copy of C.
+func (inv *Inventory) AllocatedMatrix() [][]int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return cloneMatrix(inv.alloc)
+}
+
+// Available returns a copy of the availability vector A, A_j = Σ_i L_ij.
+func (inv *Inventory) Available() []int {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	out := make([]int, inv.types)
+	copy(out, inv.avail)
+	return out
+}
+
+// CanSatisfy reports whether the request could be admitted right now, i.e.
+// R_j ≤ A_j for every type j (the paper's waiting condition).
+func (inv *Inventory) CanSatisfy(r model.Request) bool {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	if len(r) != inv.types {
+		return false
+	}
+	for j, k := range r {
+		if k > inv.avail[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// CanEverSatisfy reports whether the request fits the total plant capacity
+// R_j ≤ Σ_i M_ij; if not, the paper's model rejects it outright rather than
+// queueing it.
+func (inv *Inventory) CanEverSatisfy(r model.Request) bool {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	if len(r) != inv.types {
+		return false
+	}
+	for j := range r {
+		total := 0
+		for i := 0; i < inv.nodes; i++ {
+			total += inv.max[i][j]
+		}
+		if r[j] > total {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocate atomically commits an allocation matrix: C += alloc, L -= alloc.
+// The matrix must be n×m with non-negative entries. If any entry exceeds
+// the remaining capacity the whole call fails with ErrInsufficient and the
+// inventory is unchanged.
+func (inv *Inventory) Allocate(alloc [][]int) error {
+	if err := inv.checkShape(alloc); err != nil {
+		return err
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for i, row := range alloc {
+		for j, k := range row {
+			if k < 0 {
+				return fmt.Errorf("inventory: negative allocation at [%d][%d]", i, j)
+			}
+			if k > inv.remain[i][j] {
+				return fmt.Errorf("%w: node %d type %d has %d remaining, %d requested",
+					ErrInsufficient, i, j, inv.remain[i][j], k)
+			}
+		}
+	}
+	for i, row := range alloc {
+		for j, k := range row {
+			inv.alloc[i][j] += k
+			inv.remain[i][j] -= k
+			inv.avail[j] -= k
+		}
+	}
+	inv.version++
+	return nil
+}
+
+// Release atomically returns an allocation: C -= alloc, L += alloc. It
+// fails if the release exceeds what is currently allocated anywhere, in
+// which case the inventory is unchanged.
+func (inv *Inventory) Release(alloc [][]int) error {
+	if err := inv.checkShape(alloc); err != nil {
+		return err
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for i, row := range alloc {
+		for j, k := range row {
+			if k < 0 {
+				return fmt.Errorf("inventory: negative release at [%d][%d]", i, j)
+			}
+			if k > inv.alloc[i][j] {
+				return fmt.Errorf("inventory: release of %d VMs of type %d on node %d exceeds %d allocated",
+					k, j, i, inv.alloc[i][j])
+			}
+		}
+	}
+	for i, row := range alloc {
+		for j, k := range row {
+			inv.alloc[i][j] -= k
+			inv.remain[i][j] += k
+			inv.avail[j] += k
+		}
+	}
+	inv.version++
+	return nil
+}
+
+func (inv *Inventory) checkShape(alloc [][]int) error {
+	if len(alloc) != inv.nodes {
+		return fmt.Errorf("inventory: allocation has %d rows, want %d", len(alloc), inv.nodes)
+	}
+	for i, row := range alloc {
+		if len(row) != inv.types {
+			return fmt.Errorf("inventory: allocation row %d has %d columns, want %d", i, len(row), inv.types)
+		}
+	}
+	return nil
+}
+
+// Move atomically relocates one allocated VM of type vt from one node to
+// another: C[from][vt]--, C[to][vt]++ (and L adjusts accordingly). It is
+// the bookkeeping step of a live migration. The call fails, changing
+// nothing, if no such VM is allocated on from or to has no remaining
+// capacity.
+func (inv *Inventory) Move(from, to topology.NodeID, vt model.VMTypeID) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	f, tn, j := int(from), int(to), int(vt)
+	if f < 0 || f >= inv.nodes || tn < 0 || tn >= inv.nodes || j < 0 || j >= inv.types {
+		return fmt.Errorf("inventory: Move(%d, %d, %d) out of range", f, tn, j)
+	}
+	if f == tn {
+		return fmt.Errorf("inventory: Move to the same node %d", f)
+	}
+	if inv.alloc[f][j] == 0 {
+		return fmt.Errorf("inventory: no VM of type %d allocated on node %d", j, f)
+	}
+	if inv.remain[tn][j] == 0 {
+		return fmt.Errorf("%w: node %d has no remaining capacity for type %d", ErrInsufficient, tn, j)
+	}
+	inv.alloc[f][j]--
+	inv.remain[f][j]++
+	inv.alloc[tn][j]++
+	inv.remain[tn][j]--
+	// avail is unchanged: one slot freed, one consumed.
+	inv.version++
+	return nil
+}
+
+// Version returns a counter that increases on every successful mutation.
+// Placement algorithms can use it to detect stale snapshots.
+func (inv *Inventory) Version() uint64 {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	return inv.version
+}
+
+// CheckInvariants verifies the bookkeeping identities of Section II:
+// L = M − C, A_j = Σ_i L_ij, and 0 ≤ C ≤ M everywhere. It returns the
+// first violation found. The test suite and the simulators call this after
+// every mutation batch.
+func (inv *Inventory) CheckInvariants() error {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	sums := make([]int, inv.types)
+	for i := 0; i < inv.nodes; i++ {
+		for j := 0; j < inv.types; j++ {
+			if inv.alloc[i][j] < 0 || inv.alloc[i][j] > inv.max[i][j] {
+				return fmt.Errorf("inventory: C[%d][%d] = %d outside [0, M=%d]", i, j, inv.alloc[i][j], inv.max[i][j])
+			}
+			if inv.remain[i][j] != inv.max[i][j]-inv.alloc[i][j] {
+				return fmt.Errorf("inventory: L[%d][%d] = %d, want M−C = %d", i, j, inv.remain[i][j], inv.max[i][j]-inv.alloc[i][j])
+			}
+			sums[j] += inv.remain[i][j]
+		}
+	}
+	for j, s := range sums {
+		if inv.avail[j] != s {
+			return fmt.Errorf("inventory: A[%d] = %d, want Σ_i L_ij = %d", j, inv.avail[j], s)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the inventory, useful for what-if planning
+// (the global sub-optimization algorithm plans on a clone before
+// committing).
+func (inv *Inventory) Clone() *Inventory {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	out := &Inventory{
+		nodes:   inv.nodes,
+		types:   inv.types,
+		max:     cloneMatrix(inv.max),
+		alloc:   cloneMatrix(inv.alloc),
+		remain:  cloneMatrix(inv.remain),
+		avail:   append([]int(nil), inv.avail...),
+		version: inv.version,
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package jointopt integrates virtual-cluster provisioning with MapReduce
+// job characteristics — the paper's second future-work item: "the
+// integration of more fine-grained virtual cluster provisioning methods
+// and MapReduce scheduling strategies needs to be explored."
+//
+// The paper's DC metric measures distance to a central node, which models
+// master-worker coordination; the experimental evaluation measures
+// pairwise cluster affinity, which models the all-to-all shuffle. Real
+// jobs sit between the extremes: a Grep-like job barely shuffles, a
+// TeraSort moves every byte all-to-all. This package scores allocations
+// with a job-profile-weighted blend of the two metrics
+//
+//	score(C) = w · PairwiseAffinity(C) + (1 − w) · DC(C)
+//
+// and places requests by seeding with the paper's online heuristic and
+// then running a capacity-respecting single-VM local search on the
+// blended score.
+package jointopt
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+)
+
+// Profile characterizes the traffic mix of the job a cluster will run.
+type Profile struct {
+	// ShuffleWeight in [0, 1] is the relative importance of all-to-all
+	// (shuffle) traffic versus master-coordination traffic.
+	ShuffleWeight float64
+}
+
+// Validate rejects weights outside [0, 1].
+func (p Profile) Validate() error {
+	if p.ShuffleWeight < 0 || p.ShuffleWeight > 1 {
+		return fmt.Errorf("jointopt: ShuffleWeight %v outside [0, 1]", p.ShuffleWeight)
+	}
+	return nil
+}
+
+// ProfileFor derives a profile from a MapReduce job spec: the heavier the
+// intermediate data relative to the input, the more the shuffle
+// dominates. MapSelectivity 0 → weight 0; selectivity 1 → ~0.5;
+// selectivity → ∞ approaches 1.
+func ProfileFor(spec mapreduce.JobSpec) Profile {
+	s := spec.MapSelectivity
+	if s < 0 {
+		s = 0
+	}
+	return Profile{ShuffleWeight: s / (1 + s)}
+}
+
+// Placer is a placement.Placer optimizing the blended objective.
+type Placer struct {
+	Profile Profile
+	// MaxIterations caps local-search moves (0 = 256).
+	MaxIterations int
+}
+
+// Name implements placement.Placer.
+func (p *Placer) Name() string {
+	return fmt.Sprintf("jointopt(w=%.2f)", p.Profile.ShuffleWeight)
+}
+
+// Score evaluates the blended objective for an allocation.
+func (p *Placer) Score(t *topology.Topology, a affinity.Allocation) float64 {
+	w := p.Profile.ShuffleWeight
+	d, _ := a.Distance(t)
+	return w*a.PairwiseAffinity(t) + (1-w)*d
+}
+
+// Place implements placement.Placer: seed with Algorithm 1, then improve
+// the blended score by relocating single VMs into spare capacity.
+func (p *Placer) Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error) {
+	if err := p.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	seedPlacer := &placement.OnlineHeuristic{}
+	alloc, err := seedPlacer.Place(t, l, r)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := p.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 256
+	}
+	n := t.Nodes()
+	m := len(r)
+	score := p.Score(t, alloc)
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for from := 0; from < n && !improved; from++ {
+			for j := 0; j < m && !improved; j++ {
+				if alloc[from][j] == 0 {
+					continue
+				}
+				for to := 0; to < n; to++ {
+					if to == from || alloc[to][j] >= l[to][j] {
+						continue
+					}
+					alloc.Remove(topology.NodeID(from), model.VMTypeID(j))
+					alloc.Add(topology.NodeID(to), model.VMTypeID(j))
+					if s := p.Score(t, alloc); s < score-1e-12 {
+						score = s
+						improved = true
+						break
+					}
+					alloc.Remove(topology.NodeID(to), model.VMTypeID(j))
+					alloc.Add(topology.NodeID(from), model.VMTypeID(j))
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return alloc, nil
+}
+
+// PlaceForJob is the convenience path: derive the profile from the job
+// and place.
+func PlaceForJob(t *topology.Topology, l [][]int, r model.Request, spec mapreduce.JobSpec) (affinity.Allocation, error) {
+	p := &Placer{Profile: ProfileFor(spec)}
+	return p.Place(t, l, r)
+}

@@ -1,0 +1,183 @@
+package jointopt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinitycluster/internal/mapreduce"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+func plant(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.Uniform(1, 3, 4, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestProfileValidation(t *testing.T) {
+	if err := (Profile{ShuffleWeight: -0.1}).Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := (Profile{ShuffleWeight: 1.1}).Validate(); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+	p := &Placer{Profile: Profile{ShuffleWeight: 2}}
+	if _, err := p.Place(plant(t), nil, nil); err == nil {
+		t.Error("Place with bad profile accepted")
+	}
+}
+
+func TestProfileFor(t *testing.T) {
+	cases := []struct {
+		spec mapreduce.JobSpec
+		want float64
+	}{
+		{mapreduce.Grep("f"), 0.01 / 1.01},
+		{mapreduce.TeraSort("f", 2), 0.5},
+		{mapreduce.Join("f", 2), 1.5 / 2.5},
+	}
+	for _, c := range cases {
+		got := ProfileFor(c.spec).ShuffleWeight
+		if got != c.want {
+			t.Errorf("%s: weight = %v, want %v", c.spec.Name, got, c.want)
+		}
+	}
+	// Negative selectivity clamps to 0.
+	if got := ProfileFor(mapreduce.JobSpec{MapSelectivity: -3}).ShuffleWeight; got != 0 {
+		t.Errorf("clamped weight = %v", got)
+	}
+}
+
+func TestPlacerName(t *testing.T) {
+	p := &Placer{Profile: Profile{ShuffleWeight: 0.25}}
+	if p.Name() != "jointopt(w=0.25)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPlaceValidAndNeverWorseThanSeed(t *testing.T) {
+	tp := plant(t)
+	r := rand.New(rand.NewSource(5))
+	online := &placement.OnlineHeuristic{}
+	for trial := 0; trial < 30; trial++ {
+		caps, err := workload.RandomCapacities(r.Int63(), tp.Nodes(), 2, workload.DefaultInventoryConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := model.Request{2 + r.Intn(5), r.Intn(3)}
+		w := float64(trial%5) / 4
+		p := &Placer{Profile: Profile{ShuffleWeight: w}}
+		alloc, err := p.Place(tp, caps, req)
+		if err != nil {
+			if errors.Is(err, placement.ErrInsufficient) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if verr := alloc.Validate(req, caps); verr != nil {
+			t.Fatalf("trial %d: %v", trial, verr)
+		}
+		seed, err := online.Place(tp, caps, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Score(tp, alloc) > p.Score(tp, seed)+1e-9 {
+			t.Errorf("trial %d (w=%.2f): local search worsened score %.3f > %.3f",
+				trial, w, p.Score(tp, alloc), p.Score(tp, seed))
+		}
+	}
+}
+
+// Property: with ShuffleWeight 1 the placer's pairwise affinity is never
+// above the plain heuristic's; with weight 0 its DC is never above the
+// plain heuristic's.
+func TestQuickExtremesDominate(t *testing.T) {
+	tp, err := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := &placement.OnlineHeuristic{}
+	f := func(seed int64, shuffle bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		caps, err := workload.RandomCapacities(r.Int63(), tp.Nodes(), 1, workload.DefaultInventoryConfig())
+		if err != nil {
+			return false
+		}
+		req := model.Request{2 + r.Intn(5)}
+		seedAlloc, err := online.Place(tp, caps, req)
+		if err != nil {
+			return true // infeasible draw
+		}
+		w := 0.0
+		if shuffle {
+			w = 1.0
+		}
+		p := &Placer{Profile: Profile{ShuffleWeight: w}}
+		alloc, err := p.Place(tp, caps, req)
+		if err != nil {
+			return false
+		}
+		if shuffle {
+			return alloc.PairwiseAffinity(tp) <= seedAlloc.PairwiseAffinity(tp)+1e-9
+		}
+		d1, _ := alloc.Distance(tp)
+		d0, _ := seedAlloc.Distance(tp)
+		return d1 <= d0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleWeightChangesPlacementShape(t *testing.T) {
+	tp := plant(t)
+	// Capacity: node 0 can host 4, nodes 1-3 (same rack) one each; a
+	// second rack offers a 5-slot node 4 and a 2-slot node 5.
+	caps := [][]int{
+		{4}, {1}, {1}, {1},
+		{5}, {2}, {0}, {0},
+		{0}, {0}, {0}, {0},
+	}
+	req := model.Request{7}
+	// DC-oriented (w=0) and shuffle-oriented (w=1) placements are both
+	// valid; the shuffle-oriented one must have pairwise affinity no
+	// worse.
+	dcP := &Placer{Profile: Profile{ShuffleWeight: 0}}
+	shP := &Placer{Profile: Profile{ShuffleWeight: 1}}
+	a0, err := dcP.Place(tp, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := shP.Place(tp, caps, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.PairwiseAffinity(tp) > a0.PairwiseAffinity(tp) {
+		t.Errorf("shuffle-weighted affinity %v above DC-weighted %v",
+			a1.PairwiseAffinity(tp), a0.PairwiseAffinity(tp))
+	}
+}
+
+func TestPlaceForJob(t *testing.T) {
+	tp := plant(t)
+	caps, err := workload.RandomCapacities(9, tp.Nodes(), 1, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := model.Request{5}
+	alloc, err := PlaceForJob(tp, caps, req, mapreduce.TeraSort("input", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Satisfies(req) {
+		t.Error("job placement does not satisfy request")
+	}
+}

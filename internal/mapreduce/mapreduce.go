@@ -1,0 +1,684 @@
+// Package mapreduce simulates the execution of MapReduce jobs on a
+// virtual cluster — the substrate for reproducing the paper's experimental
+// evaluation (Figs. 7 and 8), which ran Hadoop WordCount on virtual
+// clusters of varying affinity.
+//
+// The simulator models the three data-movement phases the paper
+// enumerates in Section I:
+//
+//  1. DFS → map: each map task reads one input block from its nearest
+//     replica (node-local reads cost a local copy; rack-local and remote
+//     reads become network flows).
+//  2. Map → reduce (shuffle): each finished map's intermediate output is
+//     partitioned across reducers and fetched over the network, with
+//     bounded fetch parallelism per reducer.
+//  3. Reduce → DFS: reducer output is written back with rack-aware
+//     replication, generating replication flows.
+//
+// Task scheduling mirrors Hadoop's slot-based JobTracker: a fixed number
+// of map/reduce slots per VM, heartbeat-driven assignment, and
+// locality-preferring map placement (node-local, then rack-local, then
+// remote) with optional delay scheduling.
+//
+// Everything runs on the deterministic discrete-event engine of package
+// eventsim with network contention from package netmodel, so two runs with
+// the same seed produce identical timings.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"affinitycluster/internal/dfs"
+	"affinitycluster/internal/eventsim"
+	"affinitycluster/internal/netmodel"
+	"affinitycluster/internal/vcluster"
+)
+
+// SimConfig fixes the cluster-side execution parameters.
+type SimConfig struct {
+	// MapSlotsPerVM and ReduceSlotsPerVM bound per-VM task concurrency
+	// (Hadoop-era defaults: 2 and 1).
+	MapSlotsPerVM    int
+	ReduceSlotsPerVM int
+	// ParallelCopies bounds concurrent shuffle fetches per reducer
+	// (Hadoop default 5).
+	ParallelCopies int
+	// HeartbeatSec is the scheduler heartbeat driving slot assignment.
+	HeartbeatSec float64
+	// DelaySkips enables delay scheduling: a VM with no node-local task
+	// passes up to DelaySkips heartbeats before accepting a non-local
+	// task. 0 disables the delay (plain locality preference).
+	DelaySkips int
+	// StragglerProb is the per-attempt probability that a map attempt
+	// runs StragglerFactor× slower (a slow disk, a noisy neighbor). 0
+	// disables stragglers.
+	StragglerProb float64
+	// StragglerFactor multiplies a straggling attempt's compute time
+	// (default 5 when stragglers are enabled).
+	StragglerFactor float64
+	// Speculative enables Hadoop-style backup tasks: near the end of the
+	// map phase, attempts running far beyond the mean completed-map time
+	// get a duplicate on a free slot; the first finisher wins.
+	Speculative bool
+	// SpeculativeSlack is how many times the mean completed-map duration
+	// an attempt must exceed before a backup launches (default 1.5).
+	SpeculativeSlack float64
+	// Seed drives straggler randomness.
+	Seed int64
+}
+
+// DefaultSimConfig mirrors a small 2012 Hadoop deployment.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		MapSlotsPerVM:    2,
+		ReduceSlotsPerVM: 1,
+		ParallelCopies:   5,
+		HeartbeatSec:     0.5,
+	}
+}
+
+// Validate rejects degenerate configurations.
+func (c SimConfig) Validate() error {
+	if c.MapSlotsPerVM <= 0 || c.ReduceSlotsPerVM < 0 {
+		return fmt.Errorf("mapreduce: bad slot counts %+v", c)
+	}
+	if c.ParallelCopies <= 0 {
+		return fmt.Errorf("mapreduce: ParallelCopies must be positive")
+	}
+	if c.HeartbeatSec <= 0 {
+		return fmt.Errorf("mapreduce: HeartbeatSec must be positive")
+	}
+	if c.DelaySkips < 0 {
+		return fmt.Errorf("mapreduce: negative DelaySkips")
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return fmt.Errorf("mapreduce: StragglerProb %v outside [0, 1]", c.StragglerProb)
+	}
+	if c.StragglerFactor < 0 {
+		return fmt.Errorf("mapreduce: negative StragglerFactor")
+	}
+	if c.SpeculativeSlack < 0 {
+		return fmt.Errorf("mapreduce: negative SpeculativeSlack")
+	}
+	return nil
+}
+
+// JobSpec describes one MapReduce job over a file already in the DFS.
+type JobSpec struct {
+	Name string
+	// InputFile names the DFS file whose blocks become map inputs (one
+	// map task per block, Hadoop's default split).
+	InputFile string
+	// NumReduces is the reducer count (the paper's experiment uses 1).
+	NumReduces int
+	// MapSelectivity scales intermediate output: a map over an S-MB block
+	// emits S×MapSelectivity MB into the shuffle.
+	MapSelectivity float64
+	// ReduceSelectivity scales final output relative to shuffle input.
+	ReduceSelectivity float64
+	// MapSecPerMB and ReduceSecPerMB are per-MB CPU costs.
+	MapSecPerMB    float64
+	ReduceSecPerMB float64
+}
+
+// Validate rejects malformed jobs.
+func (j JobSpec) Validate() error {
+	if j.InputFile == "" {
+		return errors.New("mapreduce: job has no input file")
+	}
+	if j.NumReduces < 0 {
+		return fmt.Errorf("mapreduce: negative reducer count %d", j.NumReduces)
+	}
+	if j.MapSelectivity < 0 || j.ReduceSelectivity < 0 {
+		return fmt.Errorf("mapreduce: negative selectivity")
+	}
+	if j.MapSecPerMB < 0 || j.ReduceSecPerMB < 0 {
+		return fmt.Errorf("mapreduce: negative compute cost")
+	}
+	return nil
+}
+
+// Counters aggregates one job run — the measurements behind Figs. 7/8.
+type Counters struct {
+	Runtime float64 // job makespan, simulated seconds
+
+	MapsTotal     int
+	MapsNodeLocal int // data-local map tasks
+	MapsRackLocal int
+	MapsRemote    int
+
+	ShuffleTransfers int
+	ShuffleNodeLocal int // shuffle flows that stayed on one node
+	ShuffleRackLocal int
+	ShuffleRemote    int
+	ShuffleMB        float64
+	ShuffleRemoteMB  float64 // MB that crossed racks during shuffle
+
+	MapPhaseEnd   float64 // time the last map finished
+	ShuffleEnd    float64 // time the last shuffle fetch landed
+	OutputMB      float64
+	ClusterSpread float64 // pairwise-affinity of the cluster (Fig 7 x-axis)
+
+	Stragglers          int // attempts that drew the straggler slowdown
+	SpeculativeLaunched int // backup attempts started
+	SpeculativeWon      int // tasks whose backup finished first
+}
+
+// NonDataLocalMaps is the paper's Fig. 8 counter: maps that had to read
+// their input over the network.
+func (c *Counters) NonDataLocalMaps() int { return c.MapsRackLocal + c.MapsRemote }
+
+// NonLocalShuffles is the paper's Fig. 8 shuffle counter: shuffle
+// transfers that left the map task's node.
+func (c *Counters) NonLocalShuffles() int { return c.ShuffleRackLocal + c.ShuffleRemote }
+
+// taskState tracks one map task.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskDone
+)
+
+type mapTask struct {
+	id     int
+	block  dfs.BlockID
+	sizeMB float64
+	state  taskState
+	vm     vcluster.VMID // VM of the winning attempt once done
+
+	attempts  []*mapAttempt
+	hasBackup bool
+}
+
+// mapAttempt is one execution of a map task; speculative execution can
+// run two attempts of one task concurrently.
+type mapAttempt struct {
+	task     *mapTask
+	vm       vcluster.VMID
+	started  float64
+	straggle bool
+	done     bool
+}
+
+type reducer struct {
+	id        int
+	vm        vcluster.VMID
+	placed    bool
+	fetched   int     // map outputs landed
+	fetchingN int     // in-flight fetches
+	pending   []int   // finished maps not yet fetched
+	inputMB   float64 // accumulated shuffle bytes
+	computing bool
+	done      bool
+}
+
+// Simulator executes jobs on one virtual cluster.
+type Simulator struct {
+	engine  *eventsim.Engine
+	net     *netmodel.FlowSim
+	cluster *vcluster.Cluster
+	fs      *dfs.FS
+	cfg     SimConfig
+}
+
+// New wires a simulator. The caller owns the engine so multiple
+// simulators (or background traffic) can share virtual time.
+func New(e *eventsim.Engine, net *netmodel.FlowSim, c *vcluster.Cluster, f *dfs.FS, cfg SimConfig) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{engine: e, net: net, cluster: c, fs: f, cfg: cfg}, nil
+}
+
+// run is the per-job mutable state.
+type run struct {
+	sim      *Simulator
+	job      JobSpec
+	tasks    []*mapTask
+	reducers []*reducer
+	counters Counters
+	rng      *rand.Rand
+
+	mapFreeSlots    []int // per VM
+	reduceFreeSlots []int
+	delaySkips      []int // per VM, consecutive heartbeats without local work
+
+	mapsDone     int
+	doneDuration float64 // summed durations of completed maps (for speculation)
+	reducersDue  int
+	startedAt    float64
+	finished     bool
+	finishedAt   float64
+}
+
+// JobHandle tracks a launched job; its Counters become valid once Done
+// reports true (after the engine has drained or run past completion).
+type JobHandle struct {
+	run *run
+}
+
+// Done reports whether the job has completed.
+func (h *JobHandle) Done() bool { return h.run.finished }
+
+// Counters returns the job's counters; an error before completion.
+func (h *JobHandle) Counters() (*Counters, error) {
+	if !h.run.finished {
+		return nil, fmt.Errorf("mapreduce: job %q not finished", h.run.job.Name)
+	}
+	c := h.run.counters
+	return &c, nil
+}
+
+// Run executes the job to completion and returns its counters.
+func (s *Simulator) Run(job JobSpec) (*Counters, error) {
+	h, err := s.Launch(job)
+	if err != nil {
+		return nil, err
+	}
+	s.engine.Run()
+	if !h.Done() {
+		return nil, fmt.Errorf("mapreduce: job %q did not complete (scheduler stall?)", job.Name)
+	}
+	return h.Counters()
+}
+
+// Launch schedules a job on the shared engine without draining it, so
+// multiple jobs (on the same or different simulators sharing one engine)
+// can contend for the network concurrently. Call engine.Run() — or
+// Simulator.Run for the last job — to execute, then read each handle's
+// Counters.
+func (s *Simulator) Launch(job JobSpec) (*JobHandle, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	blocks, err := s.fs.Blocks(job.InputFile)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("mapreduce: input file %q has no blocks", job.InputFile)
+	}
+	r := &run{sim: s, job: job, rng: rand.New(rand.NewSource(s.cfg.Seed + 1))}
+	for i, b := range blocks {
+		blk, err := s.fs.Block(b)
+		if err != nil {
+			return nil, err
+		}
+		r.tasks = append(r.tasks, &mapTask{id: i, block: b, sizeMB: blk.SizeMB})
+	}
+	r.counters.MapsTotal = len(r.tasks)
+	r.counters.ClusterSpread = s.cluster.PairwiseDistance()
+	n := s.cluster.Size()
+	r.mapFreeSlots = make([]int, n)
+	r.reduceFreeSlots = make([]int, n)
+	r.delaySkips = make([]int, n)
+	for v := 0; v < n; v++ {
+		r.mapFreeSlots[v] = s.cfg.MapSlotsPerVM
+		r.reduceFreeSlots[v] = s.cfg.ReduceSlotsPerVM
+	}
+	for q := 0; q < job.NumReduces; q++ {
+		r.reducers = append(r.reducers, &reducer{id: q})
+	}
+	r.reducersDue = job.NumReduces
+	r.startedAt = s.engine.Now()
+	r.placeReducers()
+	r.schedule()
+	r.heartbeat()
+	return &JobHandle{run: r}, nil
+}
+
+// heartbeat periodically retries scheduling until the job completes; this
+// is what makes delay scheduling and slot churn live.
+func (r *run) heartbeat() {
+	if r.finished {
+		return
+	}
+	_, _ = r.sim.engine.After(r.sim.cfg.HeartbeatSec, func(float64) {
+		r.schedule()
+		r.heartbeat()
+	})
+}
+
+// placeReducers assigns reducers round-robin over VMs with free reduce
+// slots; overflow reducers wait for slots.
+func (r *run) placeReducers() {
+	n := r.sim.cluster.Size()
+	v := 0
+	for _, red := range r.reducers {
+		if red.placed {
+			continue
+		}
+		for probe := 0; probe < n; probe++ {
+			cand := (v + probe) % n
+			if r.reduceFreeSlots[cand] > 0 {
+				r.reduceFreeSlots[cand]--
+				red.vm = vcluster.VMID(cand)
+				red.placed = true
+				v = cand + 1
+				// A late-placed reducer may already have finished maps
+				// queued up; start fetching them immediately.
+				r.pumpFetches(red)
+				break
+			}
+		}
+	}
+}
+
+// schedule fills free map slots with pending tasks, preferring node-local
+// then rack-local then remote inputs; delay scheduling optionally defers
+// non-local assignments for a few heartbeats. With speculation enabled,
+// leftover slots at the tail of the map phase run backup attempts for
+// slow tasks.
+func (r *run) schedule() {
+	if r.finished {
+		return
+	}
+	r.placeReducers()
+	n := r.sim.cluster.Size()
+	for v := 0; v < n; v++ {
+		for r.mapFreeSlots[v] > 0 {
+			task, loc := r.pickTask(vcluster.VMID(v))
+			if task == nil {
+				break
+			}
+			if loc != dfs.NodeLocal && r.sim.cfg.DelaySkips > 0 && r.delaySkips[v] < r.sim.cfg.DelaySkips && r.anyPendingNodeLocalSomewhere() {
+				// Pass this heartbeat hoping a local slot frees elsewhere.
+				r.delaySkips[v]++
+				break
+			}
+			r.delaySkips[v] = 0
+			r.launchMap(task, vcluster.VMID(v), loc)
+		}
+	}
+	if r.sim.cfg.Speculative {
+		r.speculate()
+	}
+}
+
+// speculate launches backup attempts for laggard maps once no pending
+// task remains and slots sit idle — the Hadoop heuristic.
+func (r *run) speculate() {
+	if r.mapsDone == 0 || r.mapsDone == len(r.tasks) {
+		return // no baseline yet, or map phase over
+	}
+	for _, t := range r.tasks {
+		if t.state == taskPending {
+			return // real work outranks speculation
+		}
+	}
+	slack := r.sim.cfg.SpeculativeSlack
+	if slack <= 0 {
+		slack = 1.5
+	}
+	mean := r.doneDuration / float64(r.mapsDone)
+	now := r.sim.engine.Now()
+	for _, t := range r.tasks {
+		if t.state != taskRunning || t.hasBackup || len(t.attempts) == 0 {
+			continue
+		}
+		if now-t.attempts[0].started < slack*mean {
+			continue
+		}
+		// Find a free slot, preferring locality for the backup too.
+		vm, _ := r.freeSlotFor(t)
+		if vm < 0 {
+			return // no slots anywhere
+		}
+		t.hasBackup = true
+		r.counters.SpeculativeLaunched++
+		r.launchAttempt(t, vcluster.VMID(vm))
+	}
+}
+
+// freeSlotFor returns a VM with a free map slot, best locality first, or
+// -1 when none exists.
+func (r *run) freeSlotFor(t *mapTask) (int, dfs.Locality) {
+	best := -1
+	bestLoc := dfs.Remote + 1
+	for v := 0; v < r.sim.cluster.Size(); v++ {
+		if r.mapFreeSlots[v] == 0 {
+			continue
+		}
+		_, loc, err := r.sim.fs.NearestReplica(t.block, vcluster.VMID(v))
+		if err != nil {
+			continue
+		}
+		if loc < bestLoc {
+			best, bestLoc = v, loc
+		}
+	}
+	return best, bestLoc
+}
+
+// anyPendingNodeLocalSomewhere reports whether some pending task would be
+// node-local on some VM (the slot may free later) — the condition under
+// which delaying a non-local assignment can pay off.
+func (r *run) anyPendingNodeLocalSomewhere() bool {
+	for _, t := range r.tasks {
+		if t.state != taskPending {
+			continue
+		}
+		if len(r.sim.fs.VMsWithReplica(t.block)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pickTask returns the best pending task for a VM and its locality.
+func (r *run) pickTask(vm vcluster.VMID) (*mapTask, dfs.Locality) {
+	var best *mapTask
+	bestLoc := dfs.Remote + 1
+	for _, t := range r.tasks {
+		if t.state != taskPending {
+			continue
+		}
+		_, loc, err := r.sim.fs.NearestReplica(t.block, vm)
+		if err != nil {
+			continue
+		}
+		if loc < bestLoc {
+			best, bestLoc = t, loc
+			if loc == dfs.NodeLocal {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return nil, dfs.Remote
+	}
+	return best, bestLoc
+}
+
+// launchMap starts a task's first attempt, counting its locality class.
+func (r *run) launchMap(t *mapTask, vm vcluster.VMID, loc dfs.Locality) {
+	t.state = taskRunning
+	switch loc {
+	case dfs.NodeLocal:
+		r.counters.MapsNodeLocal++
+	case dfs.RackLocal:
+		r.counters.MapsRackLocal++
+	default:
+		r.counters.MapsRemote++
+	}
+	r.launchAttempt(t, vm)
+}
+
+// launchAttempt runs the DFS read, then compute, then completion, for one
+// attempt of a task (first or speculative backup).
+func (r *run) launchAttempt(t *mapTask, vm vcluster.VMID) {
+	at := &mapAttempt{task: t, vm: vm, started: r.sim.engine.Now()}
+	if p := r.sim.cfg.StragglerProb; p > 0 && r.rng.Float64() < p {
+		at.straggle = true
+		r.counters.Stragglers++
+	}
+	t.attempts = append(t.attempts, at)
+	r.mapFreeSlots[vm]--
+	replica, _, err := r.sim.fs.NearestReplica(t.block, vm)
+	if err != nil {
+		return
+	}
+	src := r.sim.cluster.NodeOf(replica)
+	dst := r.sim.cluster.NodeOf(vm)
+	_, _ = r.sim.net.StartFlow(src, dst, t.sizeMB, func(float64) {
+		compute := t.sizeMB * r.job.MapSecPerMB
+		if at.straggle {
+			factor := r.sim.cfg.StragglerFactor
+			if factor <= 0 {
+				factor = 5
+			}
+			compute *= factor
+		}
+		_, _ = r.sim.engine.After(compute, func(now float64) { r.attemptFinished(at, now) })
+	})
+}
+
+// attemptFinished resolves one attempt: the first finisher wins its task;
+// a loser just frees its slot.
+func (r *run) attemptFinished(at *mapAttempt, now float64) {
+	at.done = true
+	r.mapFreeSlots[at.vm]++
+	t := at.task
+	if t.state == taskDone {
+		// The other attempt already won; this one is discarded.
+		r.schedule()
+		return
+	}
+	t.state = taskDone
+	t.vm = at.vm
+	if len(t.attempts) > 1 && t.attempts[0] != at {
+		r.counters.SpeculativeWon++
+	}
+	r.mapsDone++
+	r.doneDuration += now - at.started
+	if r.mapsDone == len(r.tasks) {
+		r.counters.MapPhaseEnd = now
+	}
+	// Offer the output to every reducer.
+	for _, red := range r.reducers {
+		red.pending = append(red.pending, t.id)
+		r.pumpFetches(red)
+	}
+	if r.job.NumReduces == 0 && r.mapsDone == len(r.tasks) {
+		r.finish(now)
+		return
+	}
+	r.schedule()
+}
+
+// pumpFetches keeps up to ParallelCopies shuffle fetches in flight for a
+// reducer.
+func (r *run) pumpFetches(red *reducer) {
+	if !red.placed || red.done || red.computing {
+		return
+	}
+	for red.fetchingN < r.sim.cfg.ParallelCopies && len(red.pending) > 0 {
+		taskID := red.pending[0]
+		red.pending = red.pending[1:]
+		t := r.tasks[taskID]
+		part := t.sizeMB * r.job.MapSelectivity / float64(r.job.NumReduces)
+		src := r.sim.cluster.NodeOf(t.vm)
+		dst := r.sim.cluster.NodeOf(red.vm)
+		r.counters.ShuffleTransfers++
+		r.counters.ShuffleMB += part
+		switch {
+		case src == dst:
+			r.counters.ShuffleNodeLocal++
+		case r.sim.cluster.Topology().SameRack(src, dst):
+			r.counters.ShuffleRackLocal++
+		default:
+			r.counters.ShuffleRemote++
+			r.counters.ShuffleRemoteMB += part
+		}
+		red.fetchingN++
+		_, _ = r.sim.net.StartFlow(src, dst, part, func(now float64) {
+			red.fetchingN--
+			red.fetched++
+			red.inputMB += part
+			if now > r.counters.ShuffleEnd {
+				r.counters.ShuffleEnd = now
+			}
+			r.pumpFetches(red)
+			r.maybeReduce(red)
+		})
+	}
+}
+
+// maybeReduce starts the reduce computation once every map output landed.
+func (r *run) maybeReduce(red *reducer) {
+	if red.computing || red.done || red.fetched < len(r.tasks) {
+		return
+	}
+	red.computing = true
+	compute := red.inputMB * r.job.ReduceSecPerMB
+	_, _ = r.sim.engine.After(compute, func(now float64) { r.writeOutput(red, now) })
+}
+
+// writeOutput writes the reducer's result back to the DFS: the metadata
+// write is immediate, and replication traffic to each non-local replica
+// becomes network flows; the reducer completes when the last replica
+// lands.
+func (r *run) writeOutput(red *reducer, now float64) {
+	outMB := red.inputMB * r.job.ReduceSelectivity
+	r.counters.OutputMB += outMB
+	if outMB <= 0 {
+		r.reducerDone(red, now)
+		return
+	}
+	name := fmt.Sprintf("%s.out.%d", r.job.Name, red.id)
+	ids, err := r.sim.fs.Write(name, outMB, red.vm)
+	if err != nil {
+		// Duplicate output name across runs is a caller bug; surface it by
+		// stalling would be worse, so finish without replication traffic.
+		r.reducerDone(red, now)
+		return
+	}
+	flights := 0
+	landed := func(nowAt float64) {
+		flights--
+		if flights == 0 {
+			r.reducerDone(red, nowAt)
+		}
+	}
+	for _, id := range ids {
+		blk, err := r.sim.fs.Block(id)
+		if err != nil {
+			continue
+		}
+		for _, rep := range blk.Replicas {
+			if rep == red.vm {
+				continue // local copy is free
+			}
+			flights++
+			_, _ = r.sim.net.StartFlow(r.sim.cluster.NodeOf(red.vm), r.sim.cluster.NodeOf(rep), blk.SizeMB, landed)
+		}
+	}
+	if flights == 0 {
+		r.reducerDone(red, now)
+	}
+}
+
+func (r *run) reducerDone(red *reducer, now float64) {
+	if red.done {
+		return
+	}
+	red.done = true
+	r.reduceFreeSlots[red.vm]++
+	r.reducersDue--
+	if r.reducersDue == 0 && r.mapsDone == len(r.tasks) {
+		r.finish(now)
+	}
+}
+
+func (r *run) finish(now float64) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.finishedAt = now
+	r.counters.Runtime = now - r.startedAt
+}

@@ -1,0 +1,64 @@
+package mapreduce
+
+// Workload profiles for the benchmark jobs. WordCount reproduces the
+// paper's experiment (32 map tasks, 1 reduce task over a ~2 GB input with
+// 64 MB blocks); the others exercise the shuffle-light and shuffle-heavy
+// regimes the introduction motivates, so the affinity benefit can be
+// studied as a function of shuffle volume.
+
+// WordCount mirrors the paper's benchmark: combiner-assisted word
+// counting. Intermediate data is a moderate fraction of the input; a
+// single reducer aggregates, making the shuffle an incast.
+func WordCount(inputFile string) JobSpec {
+	return JobSpec{
+		Name:              "wordcount",
+		InputFile:         inputFile,
+		NumReduces:        1,
+		MapSelectivity:    0.4,
+		ReduceSelectivity: 0.1,
+		MapSecPerMB:       0.08,
+		ReduceSecPerMB:    0.03,
+	}
+}
+
+// TeraSort moves every input byte through the shuffle (selectivity 1) and
+// writes everything back out — the shuffle-dominated extreme.
+func TeraSort(inputFile string, reducers int) JobSpec {
+	return JobSpec{
+		Name:              "terasort",
+		InputFile:         inputFile,
+		NumReduces:        reducers,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 1.0,
+		MapSecPerMB:       0.03,
+		ReduceSecPerMB:    0.03,
+	}
+}
+
+// Grep emits almost nothing from the maps — the map-dominated extreme
+// where cluster affinity matters only for input locality.
+func Grep(inputFile string) JobSpec {
+	return JobSpec{
+		Name:              "grep",
+		InputFile:         inputFile,
+		NumReduces:        1,
+		MapSelectivity:    0.01,
+		ReduceSelectivity: 1.0,
+		MapSecPerMB:       0.05,
+		ReduceSecPerMB:    0.01,
+	}
+}
+
+// Join inflates intermediate data beyond the input size (each record
+// tagged and re-keyed), stressing both the shuffle and the output write.
+func Join(inputFile string, reducers int) JobSpec {
+	return JobSpec{
+		Name:              "join",
+		InputFile:         inputFile,
+		NumReduces:        reducers,
+		MapSelectivity:    1.5,
+		ReduceSelectivity: 0.6,
+		MapSecPerMB:       0.06,
+		ReduceSecPerMB:    0.05,
+	}
+}

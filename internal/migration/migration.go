@@ -1,0 +1,304 @@
+// Package migration plans affinity-improving live migrations for running
+// virtual clusters. The paper cites affinity-aware VM migration as the
+// complementary mechanism to placement ("Affinity-aware virtual cluster
+// VM migration technology is used to minimize the communication
+// overhead", Section VI) and lists reacting to reconfiguration as future
+// work; this package provides that mechanism on top of the same distance
+// machinery.
+//
+// A Planner looks at the currently running clusters and the residual
+// plant capacity and produces an ordered list of single-VM moves — each
+// relocating one VM into free capacity (or trading same-type VMs between
+// two clusters, which is capacity-neutral) so that the owning clusters'
+// DC strictly decreases. Moves carry a traffic cost (the VM's memory
+// image) so operators can bound disruption.
+package migration
+
+import (
+	"errors"
+	"fmt"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// MoveKind distinguishes relocations from swaps.
+type MoveKind int
+
+const (
+	// Relocate moves one VM into free capacity.
+	Relocate MoveKind = iota
+	// Swap trades same-type VMs between two clusters (capacity-neutral).
+	Swap
+)
+
+func (k MoveKind) String() string {
+	if k == Swap {
+		return "swap"
+	}
+	return "relocate"
+}
+
+// Move is one planned migration step.
+type Move struct {
+	Kind    MoveKind
+	Cluster int // index into the planner's cluster list
+	// Peer is the second cluster of a Swap (unused for Relocate).
+	Peer int
+	Type model.VMTypeID
+	From topology.NodeID
+	To   topology.NodeID
+	// Gain is the total DC reduction across the touched clusters.
+	Gain float64
+	// CostMB is the migration traffic (the moved VM images).
+	CostMB float64
+}
+
+// Plan is an ordered, dependency-respecting list of moves: applying them
+// front to back keeps every intermediate state feasible.
+type Plan struct {
+	Moves     []Move
+	TotalGain float64
+	TotalCost float64
+}
+
+// Config tunes the planner.
+type Config struct {
+	// MaxMoves caps the total number of moves in a plan (0 = 64).
+	MaxMoves int
+	// MinGain discards moves whose DC reduction is below this threshold;
+	// 0 accepts any strict improvement.
+	MinGain float64
+	// Catalog supplies per-type memory sizes for the traffic cost; nil
+	// uses model.DefaultCatalog() when the type count matches, else a
+	// flat 1 GB per VM.
+	Catalog model.Catalog
+	// MaxCostMB bounds the plan's total migration traffic (0 = unbounded).
+	MaxCostMB float64
+}
+
+// Planner computes migration plans. The zero value is usable.
+type Planner struct {
+	Config Config
+}
+
+// memoryMB returns the migration traffic of one VM of the given type.
+func (p *Planner) memoryMB(types int, vt model.VMTypeID) float64 {
+	cat := p.Config.Catalog
+	if cat == nil {
+		def := model.DefaultCatalog()
+		if def.Types() == types {
+			cat = def
+		}
+	}
+	if cat != nil && int(vt) < cat.Types() {
+		return cat[vt].MemoryGB * 1024
+	}
+	return 1024
+}
+
+// Plan computes an improving migration plan for the running clusters
+// against the residual capacity matrix. Neither input is mutated; use
+// Apply to realize a plan.
+func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affinity.Allocation) (*Plan, error) {
+	if t == nil {
+		return nil, errors.New("migration: nil topology")
+	}
+	if len(residual) != t.Nodes() {
+		return nil, fmt.Errorf("migration: residual has %d rows, topology has %d nodes", len(residual), t.Nodes())
+	}
+	work := make([]affinity.Allocation, len(clusters))
+	for i, c := range clusters {
+		if c == nil {
+			continue
+		}
+		if len(c) != t.Nodes() {
+			return nil, fmt.Errorf("migration: cluster %d has %d rows, topology has %d nodes", i, len(c), t.Nodes())
+		}
+		work[i] = c.Clone()
+	}
+	free := make([][]int, len(residual))
+	for i := range residual {
+		free[i] = append([]int(nil), residual[i]...)
+	}
+
+	maxMoves := p.Config.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 64
+	}
+	plan := &Plan{}
+	for len(plan.Moves) < maxMoves {
+		mv, ok := p.bestMove(t, free, work)
+		if !ok || mv.Gain <= p.Config.MinGain {
+			break
+		}
+		if p.Config.MaxCostMB > 0 && plan.TotalCost+mv.CostMB > p.Config.MaxCostMB {
+			break
+		}
+		p.applyTo(work, free, mv)
+		plan.Moves = append(plan.Moves, mv)
+		plan.TotalGain += mv.Gain
+		plan.TotalCost += mv.CostMB
+	}
+	return plan, nil
+}
+
+// bestMove scans all relocations and swaps for the single largest gain.
+func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affinity.Allocation) (Move, bool) {
+	var best Move
+	found := false
+	consider := func(mv Move) {
+		if !found || mv.Gain > best.Gain {
+			best = mv
+			found = true
+		}
+	}
+	n := t.Nodes()
+	// Relocations into free capacity.
+	for ci, c := range clusters {
+		if c == nil {
+			continue
+		}
+		d0, _ := c.Distance(t)
+		m := len(c[0])
+		for from := 0; from < n; from++ {
+			for j := 0; j < m; j++ {
+				if c[from][j] == 0 {
+					continue
+				}
+				for to := 0; to < n; to++ {
+					if to == from || free[to][j] == 0 {
+						continue
+					}
+					c.Remove(topology.NodeID(from), model.VMTypeID(j))
+					c.Add(topology.NodeID(to), model.VMTypeID(j))
+					d1, _ := c.Distance(t)
+					c.Remove(topology.NodeID(to), model.VMTypeID(j))
+					c.Add(topology.NodeID(from), model.VMTypeID(j))
+					if gain := d0 - d1; gain > 1e-12 {
+						consider(Move{
+							Kind:    Relocate,
+							Cluster: ci,
+							Peer:    -1,
+							Type:    model.VMTypeID(j),
+							From:    topology.NodeID(from),
+							To:      topology.NodeID(to),
+							Gain:    gain,
+							CostMB:  p.memoryMB(m, model.VMTypeID(j)),
+						})
+					}
+				}
+			}
+		}
+	}
+	// Capacity-neutral swaps between cluster pairs (Theorem 2 exchanges).
+	for ai := 0; ai < len(clusters); ai++ {
+		a := clusters[ai]
+		if a == nil {
+			continue
+		}
+		for bi := ai + 1; bi < len(clusters); bi++ {
+			b := clusters[bi]
+			if b == nil {
+				continue
+			}
+			da0, _ := a.Distance(t)
+			db0, _ := b.Distance(t)
+			m := len(a[0])
+			for pN := 0; pN < n; pN++ {
+				for qN := 0; qN < n; qN++ {
+					if pN == qN {
+						continue
+					}
+					for j := 0; j < m; j++ {
+						if a[pN][j] == 0 || b[qN][j] == 0 {
+							continue
+						}
+						a.Remove(topology.NodeID(pN), model.VMTypeID(j))
+						a.Add(topology.NodeID(qN), model.VMTypeID(j))
+						b.Remove(topology.NodeID(qN), model.VMTypeID(j))
+						b.Add(topology.NodeID(pN), model.VMTypeID(j))
+						da1, _ := a.Distance(t)
+						db1, _ := b.Distance(t)
+						a.Remove(topology.NodeID(qN), model.VMTypeID(j))
+						a.Add(topology.NodeID(pN), model.VMTypeID(j))
+						b.Remove(topology.NodeID(pN), model.VMTypeID(j))
+						b.Add(topology.NodeID(qN), model.VMTypeID(j))
+						if gain := (da0 + db0) - (da1 + db1); gain > 1e-12 {
+							consider(Move{
+								Kind:    Swap,
+								Cluster: ai,
+								Peer:    bi,
+								Type:    model.VMTypeID(j),
+								From:    topology.NodeID(pN),
+								To:      topology.NodeID(qN),
+								Gain:    gain,
+								CostMB:  2 * p.memoryMB(m, model.VMTypeID(j)),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// applyTo realizes one move on working state.
+func (p *Planner) applyTo(clusters []affinity.Allocation, free [][]int, mv Move) {
+	c := clusters[mv.Cluster]
+	switch mv.Kind {
+	case Relocate:
+		c.Remove(mv.From, mv.Type)
+		c.Add(mv.To, mv.Type)
+		free[mv.From][mv.Type]++
+		free[mv.To][mv.Type]--
+	case Swap:
+		peer := clusters[mv.Peer]
+		c.Remove(mv.From, mv.Type)
+		c.Add(mv.To, mv.Type)
+		peer.Remove(mv.To, mv.Type)
+		peer.Add(mv.From, mv.Type)
+	}
+}
+
+// Apply realizes a plan in place on the caller's clusters and residual
+// matrix. The plan must have been produced for exactly these inputs (or
+// equivalent state); a move that no longer fits aborts with an error,
+// leaving earlier moves applied — callers wanting atomicity should apply
+// to clones.
+func (p *Planner) Apply(plan *Plan, clusters []affinity.Allocation, residual [][]int) error {
+	for i, mv := range plan.Moves {
+		c := clusters[mv.Cluster]
+		if c == nil || c[mv.From][mv.Type] == 0 {
+			return fmt.Errorf("migration: move %d no longer applicable", i)
+		}
+		switch mv.Kind {
+		case Relocate:
+			if residual[mv.To][mv.Type] == 0 {
+				return fmt.Errorf("migration: move %d target capacity gone", i)
+			}
+		case Swap:
+			peer := clusters[mv.Peer]
+			if peer == nil || peer[mv.To][mv.Type] == 0 {
+				return fmt.Errorf("migration: move %d swap peer changed", i)
+			}
+		}
+		p.applyTo(clusters, residual, mv)
+	}
+	return nil
+}
+
+// TotalDistance sums DC over non-nil clusters — the quantity migrations
+// shrink.
+func TotalDistance(t *topology.Topology, clusters []affinity.Allocation) float64 {
+	total := 0.0
+	for _, c := range clusters {
+		if c != nil {
+			d, _ := c.Distance(t)
+			total += d
+		}
+	}
+	return total
+}

@@ -1,0 +1,416 @@
+// Package mip implements a branch-and-bound mixed-integer linear
+// programming solver on top of package lp. It provides the "integer
+// programming formulation" path that the paper uses to define the optimal
+// shortest-distance (SD) and global shortest-distance (GSD) allocations
+// (Section III.B/III.C).
+//
+// The solver handles minimization problems with non-negative variables, a
+// subset of which are marked integer, optional per-variable upper bounds,
+// and arbitrary ≤ / = / ≥ linear constraints. Branching is best-first on
+// the LP bound with most-fractional variable selection, which is effective
+// on the transportation-like polytopes of the SD problem (whose LP
+// relaxations are usually integral already).
+package mip
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"affinitycluster/internal/lp"
+)
+
+// Status is the outcome of a MIP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	NodeLimit // search truncated; Incumbent (if any) is the best known
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Model is a MIP under construction.
+type Model struct {
+	numVars   int
+	objective []float64
+	integer   []bool
+	upper     []float64 // +Inf when unbounded above
+	rows      []row
+}
+
+type row struct {
+	coeffs []float64
+	rel    lp.Relation
+	rhs    float64
+}
+
+// NewModel creates a model with n non-negative continuous variables.
+func NewModel(n int) *Model {
+	if n <= 0 {
+		panic(fmt.Sprintf("mip: NewModel(%d) needs at least one variable", n))
+	}
+	m := &Model{
+		numVars:   n,
+		objective: make([]float64, n),
+		integer:   make([]bool, n),
+		upper:     make([]float64, n),
+	}
+	for i := range m.upper {
+		m.upper[i] = math.Inf(1)
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return m.numVars }
+
+// SetObjective installs the minimization objective.
+func (m *Model) SetObjective(c []float64) error {
+	if len(c) != m.numVars {
+		return fmt.Errorf("mip: objective has %d coefficients, want %d", len(c), m.numVars)
+	}
+	copy(m.objective, c)
+	return nil
+}
+
+// SetInteger marks variable v as integral.
+func (m *Model) SetInteger(v int) error {
+	if v < 0 || v >= m.numVars {
+		return fmt.Errorf("mip: variable %d out of range [0,%d)", v, m.numVars)
+	}
+	m.integer[v] = true
+	return nil
+}
+
+// SetAllInteger marks every variable integral (a pure ILP).
+func (m *Model) SetAllInteger() {
+	for i := range m.integer {
+		m.integer[i] = true
+	}
+}
+
+// SetUpperBound installs x_v ≤ u.
+func (m *Model) SetUpperBound(v int, u float64) error {
+	if v < 0 || v >= m.numVars {
+		return fmt.Errorf("mip: variable %d out of range [0,%d)", v, m.numVars)
+	}
+	if u < 0 {
+		return fmt.Errorf("mip: negative upper bound %v on non-negative variable %d", u, v)
+	}
+	m.upper[v] = u
+	return nil
+}
+
+// SetBinary marks v integral with upper bound 1.
+func (m *Model) SetBinary(v int) error {
+	if err := m.SetInteger(v); err != nil {
+		return err
+	}
+	return m.SetUpperBound(v, 1)
+}
+
+// AddConstraint appends coeffs·x (rel) rhs.
+func (m *Model) AddConstraint(coeffs []float64, rel lp.Relation, rhs float64) error {
+	if len(coeffs) != m.numVars {
+		return fmt.Errorf("mip: constraint has %d coefficients, want %d", len(coeffs), m.numVars)
+	}
+	m.rows = append(m.rows, row{append([]float64(nil), coeffs...), rel, rhs})
+	return nil
+}
+
+// AddSparseConstraint appends a sparse row; repeated indices accumulate.
+func (m *Model) AddSparseConstraint(vars []int, coeffs []float64, rel lp.Relation, rhs float64) error {
+	if len(vars) != len(coeffs) {
+		return fmt.Errorf("mip: sparse constraint has %d indices but %d coefficients", len(vars), len(coeffs))
+	}
+	r := make([]float64, m.numVars)
+	for i, v := range vars {
+		if v < 0 || v >= m.numVars {
+			return fmt.Errorf("mip: variable %d out of range [0,%d)", v, m.numVars)
+		}
+		r[v] += coeffs[i]
+	}
+	m.rows = append(m.rows, row{r, rel, rhs})
+	return nil
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // integral within tolerance for integer variables
+	Objective float64
+	Nodes     int // branch-and-bound nodes explored
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes (0 = default
+	// 200000). When hit, the best incumbent is returned with status
+	// NodeLimit (or Infeasible if none was found).
+	MaxNodes int
+	// AbsGap stops the search when bestBound ≥ incumbent − AbsGap.
+	// The default 1e-6 effectively requires proof of optimality; the SD
+	// objective is integral for integer distance tiers, so 0.5 is safe
+	// there and much faster.
+	AbsGap float64
+}
+
+const intTol = 1e-6
+
+// bnbNode is one subproblem: extra bounds layered on the root model.
+type bnbNode struct {
+	bound  float64   // LP relaxation value (lower bound)
+	lower  []float64 // branching lower bounds per var (0 default)
+	upper  []float64 // branching upper bounds per var
+	weight int       // heap sequence for stable ordering
+}
+
+type nodeHeap []*bnbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].weight < h[j].weight
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bnbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Solve runs branch and bound with default options.
+func (m *Model) Solve() (*Solution, error) {
+	return m.SolveWithOptions(Options{})
+}
+
+// SolveWithOptions runs branch and bound.
+func (m *Model) SolveWithOptions(opt Options) (*Solution, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	gap := opt.AbsGap
+	if gap <= 0 {
+		gap = 1e-6
+	}
+
+	root := &bnbNode{
+		lower: make([]float64, m.numVars),
+		upper: append([]float64(nil), m.upper...),
+	}
+	relax, status, err := m.solveRelaxation(root)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case lp.Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case lp.Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	}
+	root.bound = relaxObjective(m, relax)
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1)
+		nodes        = 0
+		seq          = 0
+	)
+	open := &nodeHeap{root}
+	heap.Init(open)
+	relaxCache := map[*bnbNode][]float64{root: relax}
+
+	for open.Len() > 0 {
+		nodes++
+		if nodes > maxNodes {
+			if incumbent != nil {
+				return &Solution{Status: NodeLimit, X: incumbent, Objective: incumbentObj, Nodes: nodes}, nil
+			}
+			return &Solution{Status: NodeLimit, Nodes: nodes}, nil
+		}
+		node := heap.Pop(open).(*bnbNode)
+		if node.bound >= incumbentObj-gap {
+			continue // pruned by bound
+		}
+		x := relaxCache[node]
+		delete(relaxCache, node)
+		if x == nil {
+			var st lp.Status
+			x, st, err = m.solveRelaxation(node)
+			if err != nil {
+				return nil, err
+			}
+			if st != lp.Optimal {
+				continue
+			}
+			node.bound = relaxObjective(m, x)
+			if node.bound >= incumbentObj-gap {
+				continue
+			}
+		}
+		frac := m.mostFractional(x)
+		if frac < 0 {
+			// Integral: candidate incumbent.
+			obj := relaxObjective(m, x)
+			if obj < incumbentObj {
+				incumbentObj = obj
+				incumbent = roundIntegral(m, x)
+			}
+			continue
+		}
+		v := x[frac]
+		floorV := math.Floor(v + intTol)
+		// Down child: x_frac ≤ floor(v).
+		down := &bnbNode{
+			lower:  append([]float64(nil), node.lower...),
+			upper:  append([]float64(nil), node.upper...),
+			bound:  node.bound,
+			weight: seq,
+		}
+		seq++
+		down.upper[frac] = floorV
+		// Up child: x_frac ≥ floor(v)+1.
+		up := &bnbNode{
+			lower:  append([]float64(nil), node.lower...),
+			upper:  append([]float64(nil), node.upper...),
+			bound:  node.bound,
+			weight: seq,
+		}
+		seq++
+		up.lower[frac] = floorV + 1
+		for _, child := range []*bnbNode{down, up} {
+			if child.lower[frac] > child.upper[frac]+intTol {
+				continue // empty box
+			}
+			cx, st, serr := m.solveRelaxation(child)
+			if serr != nil {
+				return nil, serr
+			}
+			if st != lp.Optimal {
+				continue
+			}
+			child.bound = relaxObjective(m, cx)
+			if child.bound >= incumbentObj-gap {
+				continue
+			}
+			relaxCache[child] = cx
+			heap.Push(open, child)
+		}
+	}
+	if incumbent == nil {
+		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+	}
+	return &Solution{Status: Optimal, X: incumbent, Objective: incumbentObj, Nodes: nodes}, nil
+}
+
+// solveRelaxation solves the LP relaxation of the model inside a node's
+// bound box.
+func (m *Model) solveRelaxation(node *bnbNode) ([]float64, lp.Status, error) {
+	p := lp.NewProblem(m.numVars)
+	if err := p.SetObjective(m.objective); err != nil {
+		return nil, 0, err
+	}
+	for _, r := range m.rows {
+		if err := p.AddConstraint(r.coeffs, r.rel, r.rhs); err != nil {
+			return nil, 0, err
+		}
+	}
+	for v := 0; v < m.numVars; v++ {
+		if node.lower[v] > 0 {
+			if err := p.AddSparseConstraint([]int{v}, []float64{1}, lp.GE, node.lower[v]); err != nil {
+				return nil, 0, err
+			}
+		}
+		if !math.IsInf(node.upper[v], 1) {
+			if err := p.AddSparseConstraint([]int{v}, []float64{1}, lp.LE, node.upper[v]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	s, err := p.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.Status != lp.Optimal {
+		return nil, s.Status, nil
+	}
+	return s.X, lp.Optimal, nil
+}
+
+func relaxObjective(m *Model, x []float64) float64 {
+	obj := 0.0
+	for i, c := range m.objective {
+		obj += c * x[i]
+	}
+	return obj
+}
+
+// mostFractional returns the integer variable farthest from integrality,
+// or -1 if all integer variables are integral within tolerance.
+func (m *Model) mostFractional(x []float64) int {
+	best := -1
+	bestDist := intTol
+	for v := 0; v < m.numVars; v++ {
+		if !m.integer[v] {
+			continue
+		}
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best = v
+			bestDist = dist
+		}
+	}
+	return best
+}
+
+// roundIntegral snaps near-integral integer variables exactly.
+func roundIntegral(m *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for v := range out {
+		if m.integer[v] {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}
+
+// IntValue reads variable v of a solution as an int, erroring if it is not
+// integral within tolerance.
+func (s *Solution) IntValue(v int) (int, error) {
+	if s.X == nil {
+		return 0, errors.New("mip: solution has no variable values")
+	}
+	if v < 0 || v >= len(s.X) {
+		return 0, fmt.Errorf("mip: variable %d out of range [0,%d)", v, len(s.X))
+	}
+	r := math.Round(s.X[v])
+	if math.Abs(s.X[v]-r) > 1e-4 {
+		return 0, fmt.Errorf("mip: variable %d = %v is not integral", v, s.X[v])
+	}
+	return int(r), nil
+}

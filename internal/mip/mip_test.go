@@ -1,0 +1,294 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinitycluster/internal/lp"
+)
+
+func solveOK(t *testing.T, m *Model) *Solution {
+	t.Helper()
+	s, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	// No integer variables: behaves like the LP solver.
+	m := NewModel(2)
+	_ = m.SetObjective([]float64{1, 2})
+	_ = m.AddConstraint([]float64{1, 1}, lp.GE, 3)
+	_ = m.AddConstraint([]float64{1, 0}, lp.LE, 2)
+	s := solveOK(t, m)
+	if s.Status != Optimal || math.Abs(s.Objective-4) > 1e-6 {
+		t.Fatalf("got %v obj %v", s.Status, s.Objective)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x  s.t. 2x <= 5, x integer → x = 2 (LP gives 2.5).
+	m := NewModel(1)
+	_ = m.SetObjective([]float64{-1})
+	_ = m.AddConstraint([]float64{2}, lp.LE, 5)
+	_ = m.SetInteger(0)
+	s := solveOK(t, m)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	x, err := s.IntValue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 2 || math.Abs(s.Objective+2) > 1e-6 {
+		t.Fatalf("x = %d obj %v, want 2 / -2", x, s.Objective)
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c with 3a + 4b + 2c <= 6, binary.
+	// Best: a + c (weight 5, value 17)? b + c = weight 6, value 20. → 20.
+	m := NewModel(3)
+	_ = m.SetObjective([]float64{-10, -13, -7})
+	_ = m.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	for v := 0; v < 3; v++ {
+		if err := m.SetBinary(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := solveOK(t, m)
+	if s.Status != Optimal || math.Abs(s.Objective+20) > 1e-6 {
+		t.Fatalf("status %v obj %v, want optimal -20", s.Status, s.Objective)
+	}
+	a, _ := s.IntValue(0)
+	b, _ := s.IntValue(1)
+	c, _ := s.IntValue(2)
+	if a != 0 || b != 1 || c != 1 {
+		t.Fatalf("selection = %d %d %d, want 0 1 1", a, b, c)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 2x = 3 with x integer has a feasible LP (x=1.5) but no integer point.
+	m := NewModel(1)
+	_ = m.SetObjective([]float64{1})
+	_ = m.AddConstraint([]float64{2}, lp.EQ, 3)
+	_ = m.SetInteger(0)
+	s := solveOK(t, m)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	m := NewModel(1)
+	_ = m.AddConstraint([]float64{1}, lp.GE, 5)
+	_ = m.AddConstraint([]float64{1}, lp.LE, 3)
+	s := solveOK(t, m)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel(1)
+	_ = m.SetObjective([]float64{-1})
+	_ = m.SetInteger(0)
+	s := solveOK(t, m)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// min -x0 - x1 with x0 <= 2.5, x1 <= 3, both integer → (2, 3).
+	m := NewModel(2)
+	_ = m.SetObjective([]float64{-1, -1})
+	_ = m.SetUpperBound(0, 2.5)
+	_ = m.SetUpperBound(1, 3)
+	m.SetAllInteger()
+	s := solveOK(t, m)
+	if s.Status != Optimal || math.Abs(s.Objective+5) > 1e-6 {
+		t.Fatalf("status %v obj %v, want optimal -5", s.Status, s.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// Root LP gives x = 2.5 (fractional), so at least one branch is
+	// needed; a 1-node budget must truncate.
+	m := NewModel(1)
+	_ = m.SetObjective([]float64{-1})
+	_ = m.AddConstraint([]float64{2}, lp.LE, 5)
+	m.SetAllInteger()
+	s, err := m.SolveWithOptions(Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", s.Status)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	m := NewModel(2)
+	if err := m.SetObjective([]float64{1}); err == nil {
+		t.Error("short objective accepted")
+	}
+	if err := m.SetInteger(5); err == nil {
+		t.Error("out-of-range SetInteger accepted")
+	}
+	if err := m.SetUpperBound(5, 1); err == nil {
+		t.Error("out-of-range SetUpperBound accepted")
+	}
+	if err := m.SetUpperBound(0, -1); err == nil {
+		t.Error("negative upper bound accepted")
+	}
+	if err := m.AddConstraint([]float64{1}, lp.LE, 0); err == nil {
+		t.Error("short constraint accepted")
+	}
+	if err := m.AddSparseConstraint([]int{0}, []float64{1, 1}, lp.LE, 0); err == nil {
+		t.Error("mismatched sparse accepted")
+	}
+	if err := m.AddSparseConstraint([]int{9}, []float64{1}, lp.LE, 0); err == nil {
+		t.Error("out-of-range sparse index accepted")
+	}
+	var s Solution
+	if _, err := s.IntValue(0); err == nil {
+		t.Error("IntValue on empty solution accepted")
+	}
+	s2 := Solution{X: []float64{1.4}}
+	if _, err := s2.IntValue(0); err == nil {
+		t.Error("IntValue on fractional accepted")
+	}
+	if _, err := s2.IntValue(3); err == nil {
+		t.Error("IntValue out of range accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewModel(0) did not panic")
+		}
+	}()
+	NewModel(0)
+}
+
+// bruteKnapsack solves a 0/1 knapsack by enumeration.
+func bruteKnapsack(values, weights []int, cap int) int {
+	n := len(values)
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		v, w := 0, 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= cap && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Property: branch & bound matches brute force on random small knapsacks.
+func TestQuickKnapsackMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		values := make([]int, n)
+		weights := make([]int, n)
+		obj := make([]float64, n)
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = 1 + r.Intn(20)
+			weights[i] = 1 + r.Intn(10)
+			obj[i] = -float64(values[i])
+			w[i] = float64(weights[i])
+		}
+		capW := 1 + r.Intn(25)
+		m := NewModel(n)
+		_ = m.SetObjective(obj)
+		_ = m.AddConstraint(w, lp.LE, float64(capW))
+		for v := 0; v < n; v++ {
+			_ = m.SetBinary(v)
+		}
+		s, err := m.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		return math.Abs(-s.Objective-float64(bruteKnapsack(values, weights, capW))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer optimum is never below the LP relaxation optimum.
+func TestQuickIntegerBoundDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = float64(1 + r.Intn(9))
+		}
+		rowCoef := make([]float64, n)
+		for i := range rowCoef {
+			rowCoef[i] = float64(1 + r.Intn(4))
+		}
+		rhs := float64(3 + r.Intn(17))
+
+		mi := NewModel(n)
+		_ = mi.SetObjective(obj)
+		_ = mi.AddConstraint(rowCoef, lp.GE, rhs)
+		mi.SetAllInteger()
+		si, err := mi.Solve()
+		if err != nil || si.Status != Optimal {
+			return false
+		}
+		mc := lp.NewProblem(n)
+		_ = mc.SetObjective(obj)
+		_ = mc.AddConstraint(rowCoef, lp.GE, rhs)
+		sc, err := mc.Solve()
+		if err != nil || sc.Status != lp.Optimal {
+			return false
+		}
+		return si.Objective >= sc.Objective-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", NodeLimit: "node-limit",
+		Status(42): "Status(42)",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min x + y, x integer, y continuous, x + y >= 2.5, x >= 1 via bound.
+	// Best: x=1 (integer), y=1.5 → 2.5. Also x=0, y=2.5 → 2.5. Either way obj 2.5.
+	m := NewModel(2)
+	_ = m.SetObjective([]float64{1, 1})
+	_ = m.AddConstraint([]float64{1, 1}, lp.GE, 2.5)
+	_ = m.SetInteger(0)
+	s := solveOK(t, m)
+	if s.Status != Optimal || math.Abs(s.Objective-2.5) > 1e-6 {
+		t.Fatalf("status %v obj %v", s.Status, s.Objective)
+	}
+	frac := s.X[0] - math.Floor(s.X[0])
+	if math.Min(frac, 1-frac) > 1e-6 {
+		t.Errorf("integer variable x0 = %v not integral", s.X[0])
+	}
+}

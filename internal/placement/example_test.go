@@ -1,0 +1,43 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+)
+
+// Algorithm 1 packs the request into one rack around the best center.
+func ExampleOnlineHeuristic_Place() {
+	plant, _ := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	remaining := [][]int{
+		{3, 0}, {2, 0}, {0, 0}, // rack 0
+		{2, 0}, {2, 0}, {1, 0}, // rack 1
+	}
+	h := &placement.OnlineHeuristic{}
+	alloc, _ := h.Place(plant, remaining, model.Request{5, 0})
+	d, center := alloc.Distance(plant)
+	fmt.Printf("%v → distance %.0f, center N%d\n", alloc, d, center)
+	// Output:
+	// n0:[3 0] n1:[2 0] → distance 2, center N0
+}
+
+// Algorithm 2 serves a contended batch better than sequential placement.
+func ExampleGlobalSubOpt_PlaceBatch() {
+	plant, _ := topology.Uniform(1, 2, 2, topology.DefaultDistances())
+	remaining := [][]int{
+		{0}, {1}, // rack 0
+		{3}, {3}, // rack 1
+	}
+	// Served one by one, the 4-VM request grabs node 2 + node 3 and the
+	// 3-VM request is left straddling racks; served together, the
+	// exchange phase untangles them.
+	reqs := []model.Request{{4}, {3}}
+	seq, _ := placement.PlaceSequential(plant, remaining, reqs, &placement.OnlineHeuristic{})
+	g := &placement.GlobalSubOpt{}
+	batch, _ := g.PlaceBatch(plant, remaining, reqs)
+	fmt.Printf("sequential total %.0f, global total %.0f\n", seq.Total, batch.Total)
+	// Output:
+	// sequential total 3, global total 2
+}

@@ -1,0 +1,488 @@
+// Package placement implements the paper's two provisioning algorithms —
+// the online heuristic VM placement (Algorithm 1) and the global
+// sub-optimization over a batch of requests (Algorithm 2) — together with
+// the baseline placers used in the evaluation.
+//
+// All placers consume a read-only snapshot of the remaining-capacity
+// matrix L and produce an allocation matrix C; committing C to the live
+// inventory is the caller's job (see package inventory).
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// ErrInsufficient is returned when the request exceeds the available
+// resources (the paper's admission test R_j ≤ A_j fails).
+var ErrInsufficient = errors.New("placement: request exceeds available resources")
+
+// Placer turns one request into one allocation against a capacity snapshot.
+type Placer interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Place computes an allocation for r on topology t given remaining
+	// capacities l. It must not mutate l.
+	Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error)
+}
+
+// available computes A_j = Σ_i L_ij.
+func available(l [][]int, m int) []int {
+	a := make([]int, m)
+	for i := range l {
+		for j := 0; j < m; j++ {
+			a[j] += l[i][j]
+		}
+	}
+	return a
+}
+
+// admit implements the paper's first check: every R_j ≤ A_j.
+func admit(l [][]int, r model.Request) error {
+	a := available(l, len(r))
+	for j := range r {
+		if r[j] > a[j] {
+			return fmt.Errorf("%w: type %d needs %d, %d available", ErrInsufficient, j, r[j], a[j])
+		}
+	}
+	return nil
+}
+
+// CenterPolicy selects how Algorithm 1 picks candidate central nodes.
+type CenterPolicy int
+
+const (
+	// ScanAllCenters tries every node as the center and keeps the best
+	// allocation. Same O(n²m) complexity as the paper's loop, strictly
+	// dominating results.
+	ScanAllCenters CenterPolicy = iota
+	// RandomCenter follows the paper's narration: pick one random center,
+	// then keep scanning and switch only when an improvement appears.
+	// With a nil Rand it degenerates to starting from node 0.
+	RandomCenter
+)
+
+// OnlineHeuristic is the paper's Algorithm 1: greedy placement around a
+// central node, packing the center first, then its rack peers in
+// descending supply order, then remote nodes.
+type OnlineHeuristic struct {
+	// Policy selects the center scan strategy; default ScanAllCenters.
+	Policy CenterPolicy
+	// Rand seeds RandomCenter; ignored by ScanAllCenters. Not safe for
+	// concurrent Place calls when set.
+	Rand *rand.Rand
+}
+
+// Name implements Placer.
+func (h *OnlineHeuristic) Name() string {
+	if h.Policy == RandomCenter {
+		return "online-heuristic/random-center"
+	}
+	return "online-heuristic"
+}
+
+// Place implements Placer with the paper's Algorithm 1.
+func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error) {
+	n := t.Nodes()
+	m := len(r)
+	if len(l) != n {
+		return nil, fmt.Errorf("placement: capacity matrix has %d rows, topology has %d nodes", len(l), n)
+	}
+	if err := admit(l, r); err != nil {
+		return nil, err
+	}
+
+	// Fast path (Algorithm 1, lines 9–14): a single node covers R.
+	for i := 0; i < n; i++ {
+		if model.Covers(l[i], r) {
+			alloc := affinity.NewAllocation(n, m)
+			copy(alloc[i], r)
+			return alloc, nil
+		}
+	}
+
+	var (
+		best     affinity.Allocation
+		bestDist float64
+	)
+	order := h.centerOrder(n)
+	for _, center := range order {
+		alloc, ok := buildAround(t, l, r, center)
+		if !ok {
+			continue
+		}
+		d, _ := alloc.Distance(t)
+		if best == nil || d < bestDist {
+			best, bestDist = alloc, d
+		}
+		if h.Policy == RandomCenter && best != nil {
+			// The paper breaks out of L1 once a full allocation improves
+			// on the incumbent; with a random start that means the first
+			// complete allocation wins unless a later center strictly
+			// improves it. We keep scanning but the random start already
+			// decided the tie-breaks, matching the published behaviour of
+			// "random center, then local improvement".
+			continue
+		}
+	}
+	if best == nil {
+		// admit() held, so aggregate capacity suffices; every center can
+		// reach every node, so construction cannot fail.
+		return nil, fmt.Errorf("placement: internal error — no allocation built for feasible request %v", r)
+	}
+	return best, nil
+}
+
+// centerOrder yields candidate centers: identity order for the full scan,
+// or a random rotation for RandomCenter.
+func (h *OnlineHeuristic) centerOrder(n int) []topology.NodeID {
+	order := make([]topology.NodeID, n)
+	for i := range order {
+		order[i] = topology.NodeID(i)
+	}
+	if h.Policy == RandomCenter && h.Rand != nil {
+		start := h.Rand.Intn(n)
+		rot := make([]topology.NodeID, 0, n)
+		rot = append(rot, order[start:]...)
+		rot = append(rot, order[:start]...)
+		return rot
+	}
+	return order
+}
+
+// buildAround greedily builds an allocation centered on the given node:
+// the center takes com(L[center], R); same-rack nodes follow, sorted by
+// how much of the residual they can supply (descending, the paper's
+// getList ordering); remote nodes close the remainder in ascending
+// distance tiers.
+func buildAround(t *topology.Topology, l [][]int, r model.Request, center topology.NodeID) (affinity.Allocation, bool) {
+	n := t.Nodes()
+	m := len(r)
+	alloc := affinity.NewAllocation(n, m)
+	residual := r.Clone()
+
+	take := func(i topology.NodeID) bool {
+		grab := model.Min(l[i], residual)
+		if model.Sum(grab) == 0 {
+			return false
+		}
+		for j, k := range grab {
+			alloc[i][j] += k
+			residual[j] -= k
+		}
+		return residual.IsZero()
+	}
+
+	if take(center) {
+		return alloc, true
+	}
+	// Same rack, descending supply of the current residual; ties by ID.
+	rackPeers := peersBySupply(t.RackNodes(t.RackOf(center)), l, residual, center)
+	for _, i := range rackPeers {
+		if take(i) {
+			return alloc, true
+		}
+	}
+	// Remote nodes: ascending distance from the center, then descending
+	// supply within the same distance tier.
+	remote := make([]topology.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		if t.RackOf(id) != t.RackOf(center) {
+			remote = append(remote, id)
+		}
+	}
+	sort.SliceStable(remote, func(a, b int) bool {
+		da, db := t.Distance(remote[a], center), t.Distance(remote[b], center)
+		if da != db {
+			return da < db
+		}
+		sa, sb := model.Sum(model.Min(l[remote[a]], residual)), model.Sum(model.Min(l[remote[b]], residual))
+		if sa != sb {
+			return sa > sb
+		}
+		return remote[a] < remote[b]
+	})
+	for _, i := range remote {
+		if take(i) {
+			return alloc, true
+		}
+	}
+	return alloc, residual.IsZero()
+}
+
+// peersBySupply sorts the center's rack peers by descending supply of the
+// residual, excluding the center itself.
+func peersBySupply(rack []topology.NodeID, l [][]int, residual model.Request, center topology.NodeID) []topology.NodeID {
+	peers := make([]topology.NodeID, 0, len(rack))
+	for _, id := range rack {
+		if id != center {
+			peers = append(peers, id)
+		}
+	}
+	sort.SliceStable(peers, func(a, b int) bool {
+		sa := model.Sum(model.Min(l[peers[a]], residual))
+		sb := model.Sum(model.Min(l[peers[b]], residual))
+		if sa != sb {
+			return sa > sb
+		}
+		return peers[a] < peers[b]
+	})
+	return peers
+}
+
+// BatchResult is the outcome of placing a batch of requests.
+type BatchResult struct {
+	Allocs []affinity.Allocation // nil entry: request could not be placed
+	Total  float64               // Σ DC over placed requests
+	Failed int                   // requests that could not be placed
+	Swaps  int                   // improving Theorem-2 exchanges applied
+	Passes int                   // local-search sweeps executed
+}
+
+// GlobalSubOpt is the paper's Algorithm 2: place every admitted request
+// with the online heuristic, then run a Theorem-2 exchange local search
+// across allocation pairs to shrink the summed distance.
+type GlobalSubOpt struct {
+	// Online is the per-request placer of step 2; a zero-value
+	// OnlineHeuristic is used when nil.
+	Online *OnlineHeuristic
+	// MaxPasses caps local-search sweeps (0 = run to fixpoint, bounded by
+	// a safety limit). The paper performs a single pass; run-to-fixpoint
+	// is the ablation variant.
+	MaxPasses int
+}
+
+// Name identifies the strategy.
+func (g *GlobalSubOpt) Name() string { return "global-subopt" }
+
+// PlaceBatch provisions the whole batch against the shared capacity
+// snapshot l (not mutated). Requests that no longer fit as capacity
+// depletes get a nil allocation and count in Failed.
+func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.Request) (*BatchResult, error) {
+	online := g.Online
+	if online == nil {
+		online = &OnlineHeuristic{}
+	}
+	n := t.Nodes()
+	if len(l) != n {
+		return nil, fmt.Errorf("placement: capacity matrix has %d rows, topology has %d nodes", len(l), n)
+	}
+	work := cloneMatrix(l)
+	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
+
+	// Step 2: sequential online placement, depleting the working capacity.
+	for qi, r := range reqs {
+		alloc, err := online.Place(t, work, r)
+		if err != nil {
+			if errors.Is(err, ErrInsufficient) {
+				res.Failed++
+				continue
+			}
+			return nil, err
+		}
+		res.Allocs[qi] = alloc
+		for i := range alloc {
+			for j, k := range alloc[i] {
+				work[i][j] -= k
+			}
+		}
+	}
+
+	// Step 3: Theorem-2 exchange local search. Two exchange kinds keep
+	// per-node-per-type occupancy feasible:
+	//   swap — clusters a and b trade one VM of the same type across two
+	//          nodes (capacity neutral);
+	//   move — cluster a shifts one VM into residual capacity.
+	maxPasses := g.MaxPasses
+	hardCap := 64 // fixpoint safety net; each pass monotonically improves
+	if maxPasses <= 0 || maxPasses > hardCap {
+		maxPasses = hardCap
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		if g.movePass(t, res, work) {
+			improved = true
+		}
+		if g.swapPass(t, res) {
+			improved = true
+		}
+		res.Passes++
+		if !improved {
+			break
+		}
+		if g.MaxPasses == 1 {
+			break
+		}
+	}
+
+	res.Total = 0
+	for _, a := range res.Allocs {
+		if a != nil {
+			d, _ := a.Distance(t)
+			res.Total += d
+		}
+	}
+	return res, nil
+}
+
+// movePass relocates single VMs into residual capacity whenever that
+// strictly lowers the owning cluster's DC. Returns true if anything moved.
+func (g *GlobalSubOpt) movePass(t *topology.Topology, res *BatchResult, residual [][]int) bool {
+	n := t.Nodes()
+	improvedAny := false
+	for _, a := range res.Allocs {
+		if a == nil {
+			continue
+		}
+		d0, center := a.Distance(t)
+		for i := 0; i < n; i++ {
+			for j := range a[i] {
+				if a[i][j] == 0 {
+					continue
+				}
+				from := topology.NodeID(i)
+				for q := 0; q < n; q++ {
+					to := topology.NodeID(q)
+					if to == from || residual[q][j] == 0 {
+						continue
+					}
+					// Quick screen using the current center (Theorem 1).
+					if affinity.MoveDelta(t, center, from, to) >= 0 {
+						continue
+					}
+					a.Remove(from, model.VMTypeID(j))
+					a.Add(to, model.VMTypeID(j))
+					d1, c1 := a.Distance(t)
+					if d1 < d0-1e-12 {
+						residual[i][j]++
+						residual[q][j]--
+						d0, center = d1, c1
+						improvedAny = true
+					} else {
+						a.Remove(to, model.VMTypeID(j))
+						a.Add(from, model.VMTypeID(j))
+					}
+					if a[i][j] == 0 {
+						break
+					}
+				}
+			}
+		}
+	}
+	return improvedAny
+}
+
+// swapPass applies Theorem 2 across cluster pairs with distinct centers:
+// trading one same-type VM between two nodes is capacity neutral and is
+// kept whenever it shrinks DC(a)+DC(b).
+func (g *GlobalSubOpt) swapPass(t *topology.Topology, res *BatchResult) bool {
+	improvedAny := false
+	allocs := res.Allocs
+	for ai := 0; ai < len(allocs); ai++ {
+		a := allocs[ai]
+		if a == nil {
+			continue
+		}
+		for bi := ai + 1; bi < len(allocs); bi++ {
+			b := allocs[bi]
+			if b == nil {
+				continue
+			}
+			da, ca := a.Distance(t)
+			db, cb := b.Distance(t)
+			if ca == cb {
+				continue // Theorem 2 precondition: distinct centers
+			}
+			if g.swapPair(t, a, b, da+db) {
+				res.Swaps++
+				improvedAny = true
+			}
+		}
+	}
+	return improvedAny
+}
+
+// swapPair greedily applies improving single-VM swaps between two
+// allocations until none remains. Returns true if at least one applied.
+func (g *GlobalSubOpt) swapPair(t *topology.Topology, a, b affinity.Allocation, sum0 float64) bool {
+	n := len(a)
+	m := len(a[0])
+	improved := false
+	for {
+		found := false
+		for p := 0; p < n && !found; p++ {
+			for q := 0; q < n && !found; q++ {
+				if p == q {
+					continue
+				}
+				for j := 0; j < m; j++ {
+					if a[p][j] == 0 || b[q][j] == 0 {
+						continue
+					}
+					// Trade: a's VM p→q, b's VM q→p.
+					a.Remove(topology.NodeID(p), model.VMTypeID(j))
+					a.Add(topology.NodeID(q), model.VMTypeID(j))
+					b.Remove(topology.NodeID(q), model.VMTypeID(j))
+					b.Add(topology.NodeID(p), model.VMTypeID(j))
+					da, _ := a.Distance(t)
+					db, _ := b.Distance(t)
+					if da+db < sum0-1e-12 {
+						sum0 = da + db
+						improved = true
+						found = true
+						break
+					}
+					// Revert.
+					a.Remove(topology.NodeID(q), model.VMTypeID(j))
+					a.Add(topology.NodeID(p), model.VMTypeID(j))
+					b.Remove(topology.NodeID(p), model.VMTypeID(j))
+					b.Add(topology.NodeID(q), model.VMTypeID(j))
+				}
+			}
+		}
+		if !found {
+			return improved
+		}
+	}
+}
+
+// PlaceSequential places a batch with any single-request placer, depleting
+// capacity between requests — the "online" arm of Figs. 5 and 6.
+func PlaceSequential(t *topology.Topology, l [][]int, reqs []model.Request, p Placer) (*BatchResult, error) {
+	work := cloneMatrix(l)
+	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
+	for qi, r := range reqs {
+		alloc, err := p.Place(t, work, r)
+		if err != nil {
+			if errors.Is(err, ErrInsufficient) {
+				res.Failed++
+				continue
+			}
+			return nil, err
+		}
+		res.Allocs[qi] = alloc
+		d, _ := alloc.Distance(t)
+		res.Total += d
+		for i := range alloc {
+			for j, k := range alloc[i] {
+				work[i][j] -= k
+			}
+		}
+	}
+	return res, nil
+}
+
+func cloneMatrix(src [][]int) [][]int {
+	out := make([][]int, len(src))
+	for i := range src {
+		out[i] = append([]int(nil), src[i]...)
+	}
+	return out
+}

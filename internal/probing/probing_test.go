@@ -1,0 +1,305 @@
+package probing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"affinitycluster/internal/topology"
+)
+
+func groundTruth(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp, err := topology.Uniform(2, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(0, Config{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	e, err := NewEstimator(4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Coverage() != 0 {
+		t.Errorf("fresh coverage = %v", e.Coverage())
+	}
+}
+
+func TestObserveAndEstimate(t *testing.T) {
+	e, _ := NewEstimator(4, Config{Alpha: 0.5})
+	if _, ok := e.Estimate(0, 1); ok {
+		t.Error("estimate before any sample")
+	}
+	if err := e.Observe(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Estimate(0, 1); !ok || got != 10 {
+		t.Errorf("estimate = %v, %v", got, ok)
+	}
+	// Symmetric access.
+	if got, ok := e.Estimate(1, 0); !ok || got != 10 {
+		t.Errorf("symmetric estimate = %v, %v", got, ok)
+	}
+	// EWMA with alpha 0.5: 10 then 20 → 15.
+	if err := e.Observe(1, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.Estimate(0, 1); got != 15 {
+		t.Errorf("EWMA = %v, want 15", got)
+	}
+}
+
+func TestObserveRejectsBadInput(t *testing.T) {
+	e, _ := NewEstimator(3, Config{})
+	if err := e.Observe(0, 0, 1); err == nil {
+		t.Error("self pair accepted")
+	}
+	if err := e.Observe(0, 9, 1); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := e.Observe(0, 1, -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := e.Observe(0, 1, math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := e.Timeout(9); err == nil {
+		t.Error("out-of-range timeout accepted")
+	}
+}
+
+func TestDownDetectionAndRecovery(t *testing.T) {
+	e, _ := NewEstimator(3, Config{DownAfter: 2})
+	_ = e.Timeout(1)
+	if e.IsDown(1) {
+		t.Error("down after one timeout")
+	}
+	_ = e.Timeout(1)
+	if !e.IsDown(1) {
+		t.Error("not down after DownAfter timeouts")
+	}
+	if got := e.DownNodes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("DownNodes = %v", got)
+	}
+	// A successful probe revives the node.
+	if err := e.Observe(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.IsDown(1) {
+		t.Error("still down after successful probe")
+	}
+	if e.IsDown(99) {
+		t.Error("out-of-range IsDown true")
+	}
+}
+
+func TestFilterCapacities(t *testing.T) {
+	e, _ := NewEstimator(3, Config{DownAfter: 1})
+	_ = e.Timeout(1)
+	caps := [][]int{{2, 1}, {3, 3}, {1, 0}}
+	filtered, err := e.FilterCapacities(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered[1][0] != 0 || filtered[1][1] != 0 {
+		t.Errorf("down node not zeroed: %v", filtered[1])
+	}
+	if filtered[0][0] != 2 || filtered[2][0] != 1 {
+		t.Error("healthy rows changed")
+	}
+	if caps[1][0] != 3 {
+		t.Error("input mutated")
+	}
+	if _, err := e.FilterCapacities([][]int{{1}}); err == nil {
+		t.Error("wrong-shape capacities accepted")
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	tp := groundTruth(t)
+	if _, err := NewSampler(tp, 1, -0.1); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := NewSampler(tp, 1, 1.0); err == nil {
+		t.Error("noise 1.0 accepted")
+	}
+}
+
+func TestSamplerNoiseAndDowns(t *testing.T) {
+	tp := groundTruth(t)
+	s, err := NewSampler(tp, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := s.Sample(0, 1)
+	if !ok {
+		t.Fatal("probe failed")
+	}
+	base := tp.Distance(0, 1)
+	if lat < base*0.9-1e-9 || lat > base*1.1+1e-9 {
+		t.Errorf("latency %v outside ±10%% of %v", lat, base)
+	}
+	s.SetDown(1, true)
+	if _, ok := s.Sample(0, 1); ok {
+		t.Error("probe to down node succeeded")
+	}
+	s.SetDown(1, false)
+	if _, ok := s.Sample(0, 1); !ok {
+		t.Error("probe after revival failed")
+	}
+}
+
+func TestInferTopologyRecoversGroundTruth(t *testing.T) {
+	tp := groundTruth(t) // 2 clouds × 2 racks × 3 nodes
+	s, err := NewSampler(tp, 7, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(tp.Nodes(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Campaign(e, 8); err != nil {
+		t.Fatal(err)
+	}
+	if e.Coverage() != 1 {
+		t.Fatalf("coverage = %v", e.Coverage())
+	}
+	inferred, err := e.InferTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferred.Nodes() != tp.Nodes() {
+		t.Fatalf("nodes = %d", inferred.Nodes())
+	}
+	if inferred.Racks() != tp.Racks() {
+		t.Errorf("racks = %d, want %d", inferred.Racks(), tp.Racks())
+	}
+	if inferred.Clouds() != tp.Clouds() {
+		t.Errorf("clouds = %d, want %d", inferred.Clouds(), tp.Clouds())
+	}
+	// Groupings match exactly.
+	for i := 0; i < tp.Nodes(); i++ {
+		for j := i + 1; j < tp.Nodes(); j++ {
+			a, b := topology.NodeID(i), topology.NodeID(j)
+			if tp.SameRack(a, b) != inferred.SameRack(a, b) {
+				t.Errorf("rack co-membership (%d,%d) wrong", i, j)
+			}
+			if (tp.CloudOf(a) == tp.CloudOf(b)) != (inferred.CloudOf(a) == inferred.CloudOf(b)) {
+				t.Errorf("cloud co-membership (%d,%d) wrong", i, j)
+			}
+		}
+	}
+	// Distances are valid and near the true tiers.
+	if err := inferred.Distances().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := inferred.Distances()
+	truth := tp.Distances()
+	if math.Abs(d.SameRack-truth.SameRack) > 0.2*truth.SameRack {
+		t.Errorf("inferred d1 = %v, truth %v", d.SameRack, truth.SameRack)
+	}
+	if math.Abs(d.CrossRack-truth.CrossRack) > 0.2*truth.CrossRack {
+		t.Errorf("inferred d2 = %v, truth %v", d.CrossRack, truth.CrossRack)
+	}
+}
+
+func TestInferTopologySingleRack(t *testing.T) {
+	tp, err := topology.Uniform(1, 1, 4, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSampler(tp, 3, 0.1)
+	e, _ := NewEstimator(tp.Nodes(), Config{})
+	if err := s.Campaign(e, 5); err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := e.InferTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferred.Racks() != 1 || inferred.Clouds() != 1 {
+		t.Errorf("single-rack inference: %d racks, %d clouds", inferred.Racks(), inferred.Clouds())
+	}
+}
+
+func TestInferTopologySingleNode(t *testing.T) {
+	e, _ := NewEstimator(1, Config{})
+	inferred, err := e.InferTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferred.Nodes() != 1 {
+		t.Error("single node inference wrong")
+	}
+}
+
+func TestInferTopologyIncomplete(t *testing.T) {
+	e, _ := NewEstimator(3, Config{})
+	_ = e.Observe(0, 1, 1)
+	if _, err := e.InferTopology(); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestCampaignWithDownNode(t *testing.T) {
+	tp := groundTruth(t)
+	s, _ := NewSampler(tp, 5, 0.1)
+	s.SetDown(2, true)
+	e, _ := NewEstimator(tp.Nodes(), Config{DownAfter: 3})
+	if err := s.Campaign(e, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDown(2) {
+		t.Error("down node not detected")
+	}
+	// Healthy pairs still fully covered.
+	if _, ok := e.Estimate(0, 1); !ok {
+		t.Error("healthy pair unsampled")
+	}
+}
+
+// Property: topology inference is robust to noise amplitude up to 20% on
+// the paper's two-tier plant.
+func TestQuickInferenceNoiseRobust(t *testing.T) {
+	tp, err := topology.Uniform(1, 3, 4, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, noiseRaw uint8) bool {
+		noise := float64(noiseRaw%21) / 100 // 0 … 0.20
+		s, err := NewSampler(tp, seed, noise)
+		if err != nil {
+			return false
+		}
+		e, err := NewEstimator(tp.Nodes(), Config{})
+		if err != nil {
+			return false
+		}
+		if err := s.Campaign(e, 6); err != nil {
+			return false
+		}
+		inferred, err := e.InferTopology()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tp.Nodes(); i++ {
+			for j := i + 1; j < tp.Nodes(); j++ {
+				if tp.SameRack(topology.NodeID(i), topology.NodeID(j)) !=
+					inferred.SameRack(topology.NodeID(i), topology.NodeID(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

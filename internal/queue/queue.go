@@ -1,0 +1,192 @@
+// Package queue implements the request wait queue of the paper's Section
+// III.C: requests that cannot be admitted immediately wait until resources
+// free up, are served by a configurable policy (FIFO or priority), and can
+// be cancelled by their owner. GetRequests implements the paper's
+// getRequests(Q, A): the maximal policy-ordered prefix of requests the
+// current availability can admit together.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"affinitycluster/internal/model"
+)
+
+// Policy orders the wait queue.
+type Policy int
+
+const (
+	// FIFO serves requests in arrival order.
+	FIFO Policy = iota
+	// PriorityPolicy serves higher Priority first, FIFO within a level.
+	PriorityPolicy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case PriorityPolicy:
+		return "priority"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ErrNotFound is returned by Cancel for an unknown request ID.
+var ErrNotFound = errors.New("queue: request not found")
+
+// ErrFull is returned by Enqueue when the queue is at capacity — the
+// paper notes "the length of the wait queue is limited".
+var ErrFull = errors.New("queue: full")
+
+// Queue is a bounded wait queue of virtual cluster requests. It is safe
+// for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	policy   Policy
+	capacity int // 0 = unbounded
+	items    []model.TimedRequest
+	seq      int // admission sequence for stable FIFO within priorities
+	seqs     map[model.RequestID]int
+}
+
+// New creates a queue with the given policy. capacity 0 means unbounded.
+func New(policy Policy, capacity int) *Queue {
+	return &Queue{policy: policy, capacity: capacity, seqs: make(map[model.RequestID]int)}
+}
+
+// Len returns the number of waiting requests.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Enqueue adds a request to the queue.
+func (q *Queue) Enqueue(r model.TimedRequest) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return ErrFull
+	}
+	if _, dup := q.seqs[r.ID]; dup {
+		return fmt.Errorf("queue: duplicate request ID %d", r.ID)
+	}
+	q.items = append(q.items, r)
+	q.seqs[r.ID] = q.seq
+	q.seq++
+	return nil
+}
+
+// Cancel removes a waiting request — the paper's "users can also cancel
+// their jobs".
+func (q *Queue) Cancel(id model.RequestID) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			delete(q.seqs, id)
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// Peek returns the waiting requests in policy order without removing them.
+func (q *Queue) Peek() []model.TimedRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ordered()
+}
+
+// ordered returns a policy-sorted copy; callers hold q.mu.
+func (q *Queue) ordered() []model.TimedRequest {
+	out := append([]model.TimedRequest(nil), q.items...)
+	if q.policy == PriorityPolicy {
+		// Insertion sort keeps the code dependency-free and the queue is
+		// short by construction.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0; j-- {
+				a, b := out[j-1], out[j]
+				if b.Priority > a.Priority ||
+					(b.Priority == a.Priority && q.seqs[b.ID] < q.seqs[a.ID]) {
+					out[j-1], out[j] = out[j], out[j-1]
+				} else {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GetRequests implements the paper's getRequests(Q, A): walk the queue in
+// policy order and take every request the running availability can still
+// admit, removing the taken requests from the queue. Requests that do not
+// fit are skipped, not blocked behind (the paper admits any subset the
+// resources can meet).
+func (q *Queue) GetRequests(avail []int) []model.TimedRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	remaining := append([]int(nil), avail...)
+	var taken []model.TimedRequest
+	takenIDs := make(map[model.RequestID]bool)
+	for _, r := range q.ordered() {
+		if len(r.Vector) != len(remaining) {
+			continue
+		}
+		if model.Covers(remaining, r.Vector) {
+			remaining = model.Sub(remaining, r.Vector)
+			taken = append(taken, r)
+			takenIDs[r.ID] = true
+		}
+	}
+	if len(taken) > 0 {
+		kept := q.items[:0]
+		for _, it := range q.items {
+			if !takenIDs[it.ID] {
+				kept = append(kept, it)
+			} else {
+				delete(q.seqs, it.ID)
+			}
+		}
+		q.items = kept
+	}
+	return taken
+}
+
+// GetRequestsStrict is the head-blocking variant: it stops at the first
+// request in policy order that does not fit. Strict FIFO fairness avoids
+// starving large requests at the cost of utilization; the cloud simulator
+// exposes both for comparison.
+func (q *Queue) GetRequestsStrict(avail []int) []model.TimedRequest {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	remaining := append([]int(nil), avail...)
+	var taken []model.TimedRequest
+	takenIDs := make(map[model.RequestID]bool)
+	for _, r := range q.ordered() {
+		if len(r.Vector) != len(remaining) || !model.Covers(remaining, r.Vector) {
+			break
+		}
+		remaining = model.Sub(remaining, r.Vector)
+		taken = append(taken, r)
+		takenIDs[r.ID] = true
+	}
+	if len(taken) > 0 {
+		kept := q.items[:0]
+		for _, it := range q.items {
+			if !takenIDs[it.ID] {
+				kept = append(kept, it)
+			} else {
+				delete(q.seqs, it.ID)
+			}
+		}
+		q.items = kept
+	}
+	return taken
+}

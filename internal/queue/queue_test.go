@@ -1,0 +1,181 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"affinitycluster/internal/model"
+)
+
+func req(id int, vec model.Request, prio int) model.TimedRequest {
+	return model.TimedRequest{ID: model.RequestID(id), Vector: vec, Priority: prio}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(FIFO, 0)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(req(i, model.Request{1}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.Peek()
+	for i := range got {
+		if got[i].ID != model.RequestID(i) {
+			t.Errorf("position %d: ID %d", i, got[i].ID)
+		}
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q := New(PriorityPolicy, 0)
+	_ = q.Enqueue(req(0, model.Request{1}, 1))
+	_ = q.Enqueue(req(1, model.Request{1}, 5))
+	_ = q.Enqueue(req(2, model.Request{1}, 5))
+	_ = q.Enqueue(req(3, model.Request{1}, 3))
+	got := q.Peek()
+	wantIDs := []model.RequestID{1, 2, 3, 0} // 5,5 FIFO within level, 3, 1
+	for i, w := range wantIDs {
+		if got[i].ID != w {
+			t.Errorf("position %d: ID %d, want %d", i, got[i].ID, w)
+		}
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	q := New(FIFO, 2)
+	_ = q.Enqueue(req(0, model.Request{1}, 0))
+	_ = q.Enqueue(req(1, model.Request{1}, 0))
+	if err := q.Enqueue(req(2, model.Request{1}, 0)); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(7, model.Request{1}, 0))
+	if err := q.Enqueue(req(7, model.Request{2}, 0)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(0, model.Request{1}, 0))
+	_ = q.Enqueue(req(1, model.Request{1}, 0))
+	if err := q.Cancel(0); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 1 || q.Peek()[0].ID != 1 {
+		t.Error("cancel removed the wrong request")
+	}
+	if err := q.Cancel(42); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	// Cancelled ID can be reused.
+	if err := q.Enqueue(req(0, model.Request{3}, 0)); err != nil {
+		t.Errorf("re-enqueue after cancel: %v", err)
+	}
+}
+
+func TestGetRequestsSkipsOversized(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(0, model.Request{5}, 0)) // too big
+	_ = q.Enqueue(req(1, model.Request{2}, 0))
+	_ = q.Enqueue(req(2, model.Request{2}, 0))
+	taken := q.GetRequests([]int{4})
+	if len(taken) != 2 || taken[0].ID != 1 || taken[1].ID != 2 {
+		t.Fatalf("taken = %v", taken)
+	}
+	if q.Len() != 1 || q.Peek()[0].ID != 0 {
+		t.Error("oversized request should remain queued")
+	}
+}
+
+func TestGetRequestsRunningBudget(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(0, model.Request{3}, 0))
+	_ = q.Enqueue(req(1, model.Request{3}, 0))
+	taken := q.GetRequests([]int{4})
+	// Only the first fits within the running budget of 4.
+	if len(taken) != 1 || taken[0].ID != 0 {
+		t.Fatalf("taken = %v", taken)
+	}
+	if q.Len() != 1 {
+		t.Error("second request should remain")
+	}
+}
+
+func TestGetRequestsStrictBlocksAtHead(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(0, model.Request{5}, 0)) // head does not fit
+	_ = q.Enqueue(req(1, model.Request{1}, 0))
+	taken := q.GetRequestsStrict([]int{4})
+	if len(taken) != 0 {
+		t.Fatalf("strict took %v despite blocked head", taken)
+	}
+	if q.Len() != 2 {
+		t.Error("strict variant must not remove anything")
+	}
+	taken = q.GetRequestsStrict([]int{6})
+	if len(taken) != 2 {
+		t.Fatalf("strict with budget 6 took %d", len(taken))
+	}
+}
+
+func TestGetRequestsWrongLengthVectorSkipped(t *testing.T) {
+	q := New(FIFO, 0)
+	_ = q.Enqueue(req(0, model.Request{1, 1}, 0)) // 2 types vs avail of 1
+	_ = q.Enqueue(req(1, model.Request{1}, 0))
+	taken := q.GetRequests([]int{4})
+	if len(taken) != 1 || taken[0].ID != 1 {
+		t.Fatalf("taken = %v", taken)
+	}
+}
+
+func TestGetRequestsPriorityOrdering(t *testing.T) {
+	q := New(PriorityPolicy, 0)
+	_ = q.Enqueue(req(0, model.Request{3}, 0))
+	_ = q.Enqueue(req(1, model.Request{3}, 9))
+	taken := q.GetRequests([]int{3})
+	if len(taken) != 1 || taken[0].ID != 1 {
+		t.Fatalf("priority queue served %v first", taken)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || PriorityPolicy.String() != "priority" || Policy(9).String() != "Policy(9)" {
+		t.Error("Policy strings wrong")
+	}
+}
+
+func TestConcurrentEnqueueCancel(t *testing.T) {
+	q := New(FIFO, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := base*1000 + i
+				if err := q.Enqueue(req(id, model.Request{1}, 0)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := q.Cancel(model.RequestID(id)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != 8*25 {
+		t.Errorf("Len = %d, want %d", q.Len(), 8*25)
+	}
+}

@@ -1,0 +1,27 @@
+package sdexact_test
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/sdexact"
+	"affinitycluster/internal/topology"
+)
+
+// Solve the Shortest Distance problem exactly: 5 VMs on a plant where no
+// single node fits them, so the optimum packs one rack.
+func ExampleSolveSD() {
+	plant, _ := topology.Uniform(1, 2, 2, topology.DefaultDistances())
+	remaining := [][]int{
+		{3}, // node 0, rack 0
+		{2}, // node 1, rack 0
+		{4}, // node 2, rack 1
+		{0}, // node 3, rack 1
+	}
+	res, _ := sdexact.SolveSD(plant, remaining, model.Request{5})
+	fmt.Printf("optimal distance %.0f with center N%d\n", res.Distance, res.Center)
+	fmt.Printf("allocation: %v\n", res.Alloc)
+	// Output:
+	// optimal distance 2 with center N0
+	// allocation: n0:[3] n1:[2]
+}

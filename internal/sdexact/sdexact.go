@@ -1,0 +1,558 @@
+// Package sdexact solves the paper's Shortest Distance (SD, Definition 2)
+// and Global Shortest Distance (GSD, Definition 4) problems exactly.
+//
+// # SD
+//
+// The paper formulates SD as an integer program (Section III.B). For a
+// fixed central node N_k the objective Σ_i (Σ_j x_ij)·D_ik decomposes per
+// VM type, and the feasible region {Σ_i x_ij = R_j, 0 ≤ x_ij ≤ L_ij} is a
+// transportation polytope whose vertices are integral. Placing each type's
+// VMs on nodes in ascending order of D_ik is therefore exactly optimal (an
+// exchange argument — Theorem 1 of the paper — shows any other allocation
+// can be improved by moving a VM to a closer node with spare capacity).
+// SolveSD scans every candidate center and takes the minimum, which equals
+// the ILP optimum: min_C min_k = min_k min_C.
+//
+// SolveSDMIP solves the same instance through the general branch-and-bound
+// ILP of package mip, one model per candidate center, exactly mirroring the
+// paper's formulation. It exists to cross-validate SolveSD and to
+// demonstrate the ILP path; it is orders of magnitude slower.
+//
+// # GSD
+//
+// With the central node of every request fixed, GSD also decomposes per VM
+// type into transportation problems (requests demand, nodes supply, cost
+// D_i,center(req)), solved exactly via LP with integral vertices. SolveGSD
+// searches the space of center tuples by depth-first branch and bound with
+// admissible per-request lower bounds. It is exponential in the number of
+// requests in the worst case and intended for the small instances used to
+// validate the heuristics.
+package sdexact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/lp"
+	"affinitycluster/internal/mcmf"
+	"affinitycluster/internal/mip"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// ErrInfeasible is returned when a request exceeds the available resources
+// (R_j > A_j for some type j).
+var ErrInfeasible = errors.New("sdexact: request exceeds available resources")
+
+// SDResult is an optimal answer to the SD problem.
+type SDResult struct {
+	Alloc    affinity.Allocation
+	Distance float64         // DC of the allocation — the SD(R) optimum
+	Center   topology.NodeID // minimizing central node
+}
+
+// feasible reports whether R_j ≤ Σ_i L_ij for all j.
+func feasible(l [][]int, r model.Request) bool {
+	for j := range r {
+		total := 0
+		for i := range l {
+			total += l[i][j]
+		}
+		if r[j] > total {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveSD returns the exact shortest-distance allocation for request r
+// against remaining capacity l on topology t.
+func SolveSD(t *topology.Topology, l [][]int, r model.Request) (*SDResult, error) {
+	n := t.Nodes()
+	if len(l) != n {
+		return nil, fmt.Errorf("sdexact: capacity matrix has %d rows, topology has %d nodes", len(l), n)
+	}
+	if !feasible(l, r) {
+		return nil, ErrInfeasible
+	}
+	m := len(r)
+	var best *SDResult
+	// Node order by ascending distance from each center is recomputed per
+	// center; ties resolve to lower IDs for determinism.
+	for k := 0; k < n; k++ {
+		center := topology.NodeID(k)
+		order := make([]topology.NodeID, n)
+		for i := range order {
+			order[i] = topology.NodeID(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			da := t.Distance(order[a], center)
+			db := t.Distance(order[b], center)
+			if da != db {
+				return da < db
+			}
+			return order[a] < order[b]
+		})
+		alloc := affinity.NewAllocation(n, m)
+		cost := 0.0
+		ok := true
+		for j := 0; j < m && ok; j++ {
+			need := r[j]
+			for _, i := range order {
+				if need == 0 {
+					break
+				}
+				take := l[i][j]
+				if take > need {
+					take = need
+				}
+				if take > 0 {
+					alloc[i][model.VMTypeID(j)] += take
+					cost += float64(take) * t.Distance(i, center)
+					need -= take
+				}
+			}
+			if need > 0 {
+				ok = false // cannot happen when feasible() held, defensive
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || cost < best.Distance {
+			best = &SDResult{Alloc: alloc, Distance: cost, Center: center}
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	// The DC of the chosen allocation can only equal the scanned minimum
+	// (see package comment); recompute for the canonical tie-broken center.
+	d, ctr := best.Alloc.Distance(t)
+	best.Distance = d
+	best.Center = ctr
+	return best, nil
+}
+
+// SolveSDMIP solves SD through the paper's integer-programming formulation
+// using the branch-and-bound solver, one model per candidate central node.
+// Exposed for cross-validation and for the exactness ablation benchmark.
+func SolveSDMIP(t *topology.Topology, l [][]int, r model.Request) (*SDResult, error) {
+	n := t.Nodes()
+	if !feasible(l, r) {
+		return nil, ErrInfeasible
+	}
+	m := len(r)
+	var best *SDResult
+	for k := 0; k < n; k++ {
+		center := topology.NodeID(k)
+		mod := mip.NewModel(n * m)
+		obj := make([]float64, n*m)
+		for i := 0; i < n; i++ {
+			d := t.Distance(topology.NodeID(i), center)
+			for j := 0; j < m; j++ {
+				v := i*m + j
+				obj[v] = d
+				if err := mod.SetUpperBound(v, float64(l[i][j])); err != nil {
+					return nil, err
+				}
+				if err := mod.SetInteger(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := mod.SetObjective(obj); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			vars := make([]int, n)
+			coef := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vars[i] = i*m + j
+				coef[i] = 1
+			}
+			if err := mod.AddSparseConstraint(vars, coef, lp.EQ, float64(r[j])); err != nil {
+				return nil, err
+			}
+		}
+		sol, err := mod.Solve()
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != mip.Optimal {
+			continue
+		}
+		if best == nil || sol.Objective < best.Distance-1e-9 {
+			alloc := affinity.NewAllocation(n, m)
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					x, err := sol.IntValue(i*m + j)
+					if err != nil {
+						return nil, err
+					}
+					alloc[i][j] = x
+				}
+			}
+			best = &SDResult{Alloc: alloc, Distance: sol.Objective, Center: center}
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	d, ctr := best.Alloc.Distance(t)
+	best.Distance = d
+	best.Center = ctr
+	return best, nil
+}
+
+// SolveSDMCMF solves SD through min-cost flow: for each candidate center
+// the per-type subproblem is a transportation instance (nodes supply,
+// the request demands). A third independent exact path, used to
+// cross-validate SolveSD and SolveSDMIP.
+func SolveSDMCMF(t *topology.Topology, l [][]int, r model.Request) (*SDResult, error) {
+	n := t.Nodes()
+	if len(l) != n {
+		return nil, fmt.Errorf("sdexact: capacity matrix has %d rows, topology has %d nodes", len(l), n)
+	}
+	if !feasible(l, r) {
+		return nil, ErrInfeasible
+	}
+	m := len(r)
+	var best *SDResult
+	for k := 0; k < n; k++ {
+		center := topology.NodeID(k)
+		alloc := affinity.NewAllocation(n, m)
+		total := 0.0
+		ok := true
+		for j := 0; j < m && ok; j++ {
+			if r[j] == 0 {
+				continue
+			}
+			cost := make([][]float64, n)
+			supply := make([]int, n)
+			for i := 0; i < n; i++ {
+				cost[i] = []float64{t.Distance(topology.NodeID(i), center)}
+				supply[i] = l[i][j]
+			}
+			ship, c, err := mcmf.Transportation(cost, supply, []int{r[j]})
+			if err != nil {
+				ok = false
+				break
+			}
+			for i := 0; i < n; i++ {
+				alloc[i][j] += ship[i][0]
+			}
+			total += c
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || total < best.Distance {
+			best = &SDResult{Alloc: alloc, Distance: total, Center: center}
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	d, ctr := best.Alloc.Distance(t)
+	best.Distance = d
+	best.Center = ctr
+	return best, nil
+}
+
+// GSDResult is an exact answer to the global shortest-distance problem.
+type GSDResult struct {
+	Allocs  []affinity.Allocation
+	Centers []topology.NodeID
+	Total   float64 // Σ DC over all requests — the GSD optimum
+	Leaves  int     // complete center tuples evaluated
+}
+
+// GSDOptions tunes the exponential center-tuple search.
+type GSDOptions struct {
+	// MaxLeaves caps the number of complete center assignments evaluated
+	// (0 = 100000). If exceeded, SolveGSD returns the best found so far
+	// with Truncated set in the error — callers validating heuristics on
+	// small instances never hit it.
+	MaxLeaves int
+}
+
+// ErrTruncated reports that the GSD search hit its leaf budget; the
+// returned result is the best incumbent, not a proven optimum.
+var ErrTruncated = errors.New("sdexact: GSD search truncated")
+
+// SolveGSD computes the exact global optimum for a batch of requests
+// sharing the capacity matrix l. Exponential in len(reqs); intended for
+// validation-sized instances.
+func SolveGSD(t *topology.Topology, l [][]int, reqs []model.Request, opt GSDOptions) (*GSDResult, error) {
+	if len(reqs) == 0 {
+		return &GSDResult{}, nil
+	}
+	n := t.Nodes()
+	m := len(reqs[0])
+	// Aggregate feasibility.
+	agg := make(model.Request, m)
+	for _, r := range reqs {
+		if len(r) != m {
+			return nil, fmt.Errorf("sdexact: inconsistent request lengths")
+		}
+		agg = model.Request(model.Add(agg, r))
+	}
+	if !feasible(l, agg) {
+		return nil, ErrInfeasible
+	}
+	maxLeaves := opt.MaxLeaves
+	if maxLeaves <= 0 {
+		maxLeaves = 100000
+	}
+
+	// Per-request, per-center relaxed lower bound: optimal cost of serving
+	// the request alone from center k on the full capacity matrix.
+	p := len(reqs)
+	lb := make([][]float64, p)
+	lbBest := make([]float64, p)
+	for q, r := range reqs {
+		lb[q] = make([]float64, n)
+		lbBest[q] = math.Inf(1)
+		for k := 0; k < n; k++ {
+			cost, ok := relaxedCost(t, l, r, topology.NodeID(k))
+			if !ok {
+				lb[q][k] = math.Inf(1)
+				continue
+			}
+			lb[q][k] = cost
+			if cost < lbBest[q] {
+				lbBest[q] = cost
+			}
+		}
+	}
+	// Suffix sums of per-request best bounds for pruning.
+	suffix := make([]float64, p+1)
+	for q := p - 1; q >= 0; q-- {
+		suffix[q] = suffix[q+1] + lbBest[q]
+	}
+
+	best := &GSDResult{Total: math.Inf(1)}
+	centers := make([]topology.NodeID, p)
+	leaves := 0
+	truncated := false
+
+	var dfs func(q int, partial float64)
+	dfs = func(q int, partial float64) {
+		if truncated {
+			return
+		}
+		if q == p {
+			leaves++
+			if leaves > maxLeaves {
+				truncated = true
+				return
+			}
+			allocs, total, ok := solveTransportation(t, l, reqs, centers)
+			if ok && total < best.Total-1e-9 {
+				best.Allocs = allocs
+				best.Centers = append([]topology.NodeID(nil), centers...)
+				best.Total = total
+			}
+			return
+		}
+		// Order candidate centers by the request's relaxed bound so good
+		// tuples are found early and pruning bites.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return lb[q][order[a]] < lb[q][order[b]] })
+		for _, k := range order {
+			if math.IsInf(lb[q][k], 1) {
+				break
+			}
+			if partial+lb[q][k]+suffix[q+1] >= best.Total-1e-9 {
+				break // bounds are sorted: no later center can help
+			}
+			centers[q] = topology.NodeID(k)
+			dfs(q+1, partial+lb[q][k])
+		}
+	}
+	dfs(0, 0)
+
+	if math.IsInf(best.Total, 1) {
+		if truncated {
+			return nil, ErrTruncated
+		}
+		return nil, ErrInfeasible
+	}
+	best.Leaves = leaves
+	if truncated {
+		return best, ErrTruncated
+	}
+	return best, nil
+}
+
+// relaxedCost is the optimal single-request cost from a fixed center on
+// the full capacity matrix (greedy over the transportation polytope).
+func relaxedCost(t *topology.Topology, l [][]int, r model.Request, center topology.NodeID) (float64, bool) {
+	n := t.Nodes()
+	order := make([]topology.NodeID, n)
+	for i := range order {
+		order[i] = topology.NodeID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := t.Distance(order[a], center), t.Distance(order[b], center)
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	cost := 0.0
+	for j := range r {
+		need := r[j]
+		for _, i := range order {
+			if need == 0 {
+				break
+			}
+			take := l[i][j]
+			if take > need {
+				take = need
+			}
+			cost += float64(take) * t.Distance(i, center)
+			need -= take
+		}
+		if need > 0 {
+			return 0, false
+		}
+	}
+	return cost, true
+}
+
+// solveTransportation solves the fixed-centers GSD exactly: per VM type,
+// a transportation problem with nodes as suppliers, requests as consumers,
+// and cost D_i,center(req), solved by min-cost flow (exactly integral).
+// solveTransportationLP is the simplex-based reference used by the test
+// suite to cross-validate this path.
+func solveTransportation(t *topology.Topology, l [][]int, reqs []model.Request, centers []topology.NodeID) ([]affinity.Allocation, float64, bool) {
+	n := t.Nodes()
+	p := len(reqs)
+	m := len(reqs[0])
+	allocs := make([]affinity.Allocation, p)
+	for q := range allocs {
+		allocs[q] = affinity.NewAllocation(n, m)
+	}
+	for j := 0; j < m; j++ {
+		demand := make([]int, p)
+		demandTotal := 0
+		for q, r := range reqs {
+			demand[q] = r[j]
+			demandTotal += r[j]
+		}
+		if demandTotal == 0 {
+			continue
+		}
+		cost := make([][]float64, n)
+		supply := make([]int, n)
+		for i := 0; i < n; i++ {
+			cost[i] = make([]float64, p)
+			for q := 0; q < p; q++ {
+				cost[i][q] = t.Distance(topology.NodeID(i), centers[q])
+			}
+			supply[i] = l[i][j]
+		}
+		ship, _, err := mcmf.Transportation(cost, supply, demand)
+		if err != nil {
+			return nil, 0, false
+		}
+		for i := 0; i < n; i++ {
+			for q := 0; q < p; q++ {
+				allocs[q][i][j] += ship[i][q]
+			}
+		}
+	}
+	// Report the true Σ DC(C^q): the transportation objective fixes each
+	// request's center, but DC takes the best center, which can only be
+	// ≤. Using the true DC keeps the result comparable with the
+	// heuristics.
+	trueTotal := 0.0
+	for q := range allocs {
+		d, _ := allocs[q].Distance(t)
+		trueTotal += d
+	}
+	return allocs, trueTotal, true
+}
+
+// solveTransportationLP is the simplex-based reference implementation of
+// solveTransportation, retained for cross-validation: transportation
+// polytopes have integral vertices, so rounding the LP optimum is exact.
+func solveTransportationLP(t *topology.Topology, l [][]int, reqs []model.Request, centers []topology.NodeID) ([]affinity.Allocation, float64, bool) {
+	n := t.Nodes()
+	p := len(reqs)
+	m := len(reqs[0])
+	allocs := make([]affinity.Allocation, p)
+	for q := range allocs {
+		allocs[q] = affinity.NewAllocation(n, m)
+	}
+	for j := 0; j < m; j++ {
+		demandTotal := 0
+		for _, r := range reqs {
+			demandTotal += r[j]
+		}
+		if demandTotal == 0 {
+			continue
+		}
+		// Variables x[q][i] laid out as q*n + i.
+		prob := lp.NewProblem(p * n)
+		obj := make([]float64, p*n)
+		for q := 0; q < p; q++ {
+			for i := 0; i < n; i++ {
+				obj[q*n+i] = t.Distance(topology.NodeID(i), centers[q])
+			}
+		}
+		if err := prob.SetObjective(obj); err != nil {
+			return nil, 0, false
+		}
+		for q := 0; q < p; q++ {
+			vars := make([]int, n)
+			coef := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vars[i] = q*n + i
+				coef[i] = 1
+			}
+			if err := prob.AddSparseConstraint(vars, coef, lp.EQ, float64(reqs[q][j])); err != nil {
+				return nil, 0, false
+			}
+		}
+		for i := 0; i < n; i++ {
+			vars := make([]int, p)
+			coef := make([]float64, p)
+			for q := 0; q < p; q++ {
+				vars[q] = q*n + i
+				coef[q] = 1
+			}
+			if err := prob.AddSparseConstraint(vars, coef, lp.LE, float64(l[i][j])); err != nil {
+				return nil, 0, false
+			}
+		}
+		sol, err := prob.Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			return nil, 0, false
+		}
+		for q := 0; q < p; q++ {
+			for i := 0; i < n; i++ {
+				x := sol.X[q*n+i]
+				xi := int(math.Round(x))
+				if math.Abs(x-float64(xi)) > 1e-4 {
+					return nil, 0, false // non-integral vertex: numerical trouble
+				}
+				allocs[q][i][j] += xi
+			}
+		}
+	}
+	trueTotal := 0.0
+	for q := range allocs {
+		d, _ := allocs[q].Distance(t)
+		trueTotal += d
+	}
+	return allocs, trueTotal, true
+}

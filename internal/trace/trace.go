@@ -1,0 +1,129 @@
+// Package trace records and replays virtual-cluster request traces as
+// JSON, so that simulation scenarios (the paper's "twenty requests ...
+// generated randomly") can be archived, shared, and replayed exactly —
+// including across implementations.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"affinitycluster/internal/model"
+)
+
+// FormatVersion is the trace schema version written by this package.
+const FormatVersion = 1
+
+// Trace is a replayable request sequence plus the context needed to
+// interpret it.
+type Trace struct {
+	Version     int    `json:"version"`
+	Description string `json:"description,omitempty"`
+	// Types is the VM type count every request vector must match.
+	Types int `json:"types"`
+	// Requests are in arrival order.
+	Requests []model.TimedRequest `json:"requests"`
+}
+
+// New builds a validated trace from timed requests.
+func New(description string, types int, reqs []model.TimedRequest) (*Trace, error) {
+	t := &Trace{
+		Version:     FormatVersion,
+		Description: description,
+		Types:       types,
+		Requests:    reqs,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks structural invariants: supported version, positive type
+// count, per-request vector lengths, non-negative counts, unique IDs, and
+// non-decreasing arrival times.
+func (t *Trace) Validate() error {
+	if t.Version != FormatVersion {
+		return fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, FormatVersion)
+	}
+	if t.Types <= 0 {
+		return errors.New("trace: non-positive type count")
+	}
+	seen := make(map[model.RequestID]bool, len(t.Requests))
+	prev := -1.0
+	for i, r := range t.Requests {
+		if len(r.Vector) != t.Types {
+			return fmt.Errorf("trace: request %d has %d types, trace declares %d", i, len(r.Vector), t.Types)
+		}
+		for j, k := range r.Vector {
+			if k < 0 {
+				return fmt.Errorf("trace: request %d has negative count for type %d", i, j)
+			}
+		}
+		if r.Vector.IsZero() {
+			return fmt.Errorf("trace: request %d asks for zero VMs", i)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("trace: duplicate request ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Arrival < prev {
+			return fmt.Errorf("trace: request %d arrives at %v, before previous %v", i, r.Arrival, prev)
+		}
+		prev = r.Arrival
+		if r.Hold < 0 {
+			return fmt.Errorf("trace: request %d has negative hold %v", i, r.Hold)
+		}
+	}
+	return nil
+}
+
+// Save writes the trace as indented JSON.
+func Save(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Load reads and validates a trace.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to a path.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from a path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/workload"
+)
+
+func sample(t *testing.T) *Trace {
+	t.Helper()
+	reqs, err := workload.RandomRequests(3, 10, 3, workload.Normal, workload.DefaultRequestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := workload.TimedRequests(4, reqs, workload.DefaultArrivalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New("test trace", 3, timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Description != tr.Description || back.Types != tr.Types || len(back.Requests) != len(tr.Requests) {
+		t.Fatal("round trip changed metadata")
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], back.Requests[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Hold != b.Hold || a.Priority != b.Priority {
+			t.Fatalf("request %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Vector {
+			if a.Vector[j] != b.Vector[j] {
+				t.Fatalf("request %d vector changed", i)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sample(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatal("file round trip lost requests")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func(mut func(*Trace)) *Trace {
+		tr := sample(t)
+		mut(tr)
+		return tr
+	}
+	cases := map[string]*Trace{
+		"bad version":    mk(func(tr *Trace) { tr.Version = 99 }),
+		"zero types":     mk(func(tr *Trace) { tr.Types = 0 }),
+		"short vector":   mk(func(tr *Trace) { tr.Requests[0].Vector = model.Request{1} }),
+		"negative count": mk(func(tr *Trace) { tr.Requests[0].Vector = model.Request{-1, 1, 0} }),
+		"zero request":   mk(func(tr *Trace) { tr.Requests[0].Vector = model.Request{0, 0, 0} }),
+		"dup id":         mk(func(tr *Trace) { tr.Requests[1].ID = tr.Requests[0].ID }),
+		"time warp":      mk(func(tr *Trace) { tr.Requests[1].Arrival = tr.Requests[0].Arrival - 5 }),
+		"negative hold":  mk(func(tr *Trace) { tr.Requests[0].Hold = -1 }),
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, tr); err == nil {
+			t.Errorf("%s saved", name)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON loaded")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"types":1,"unknown":true,"requests":[]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("x", 0, nil); err == nil {
+		t.Error("New accepted zero types")
+	}
+}
