@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-hot verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite: every table/figure plus ablations.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Just the hot-path benchmarks gated by the performance acceptance
+# criteria (incremental vs scratch DC evaluation, Algorithm 1/2 cost).
+bench-hot:
+	$(GO) test -run '^$$' -bench 'BenchmarkDistance(Scratch|Incremental)$$|BenchmarkOnlinePlace$$|BenchmarkAblationTransferFixpoint' .
+
+# The pre-merge gate: build, vet, full tests, and the race detector.
+verify: build vet test race

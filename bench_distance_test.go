@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/topology"
+)
+
+// distanceWalk pre-generates a deterministic single-VM move walk on the
+// paper plant so the scratch and incremental benchmarks replay exactly
+// the same work: the i-th step moves one VM from moves[i][0] to
+// moves[i][1] and then needs the new DC(C).
+func distanceWalk(b *testing.B) (*topology.Topology, affinity.Allocation, [][2]topology.NodeID) {
+	b.Helper()
+	topo := topology.PaperSimPlant()
+	n := topo.Nodes()
+	rng := rand.New(rand.NewSource(benchSeed))
+	start := affinity.NewAllocation(n, 1)
+	for v := 0; v < 40; v++ {
+		start.Add(topology.NodeID(rng.Intn(n)), 0)
+	}
+	const steps = 512
+	moves := make([][2]topology.NodeID, 0, steps)
+	sim := start.Clone()
+	for len(moves) < steps {
+		hosts := sim.HostingNodes()
+		p := hosts[rng.Intn(len(hosts))]
+		q := topology.NodeID(rng.Intn(n))
+		if q == p {
+			continue
+		}
+		sim.Remove(p, 0)
+		sim.Add(q, 0)
+		moves = append(moves, [2]topology.NodeID{p, q})
+	}
+	return topo, start, moves
+}
+
+// BenchmarkDistanceScratch prices the walk the way the optimizers did
+// before this change: mutate, then recompute DC(C) from scratch.
+func BenchmarkDistanceScratch(b *testing.B) {
+	topo, start, moves := distanceWalk(b)
+	var sum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := start.Clone()
+		sum = 0
+		for _, mv := range moves {
+			a.Remove(mv[0], 0)
+			a.Add(mv[1], 0)
+			d, _ := a.Distance(topo)
+			sum += d
+		}
+	}
+	b.ReportMetric(sum/float64(len(moves)), "mean-DC")
+}
+
+// BenchmarkDistanceIncremental prices the same walk through the
+// DistanceEvaluator: preview in O(hosts), then materialize. The mean-DC
+// metric must match BenchmarkDistanceScratch exactly.
+func BenchmarkDistanceIncremental(b *testing.B) {
+	topo, start, moves := distanceWalk(b)
+	var sum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := affinity.NewDistanceEvaluator(topo, start)
+		sum = 0
+		for _, mv := range moves {
+			d, _ := ev.MovePreview(mv[0], mv[1])
+			ev.Move(mv[0], mv[1])
+			sum += d
+		}
+	}
+	b.ReportMetric(sum/float64(len(moves)), "mean-DC")
+}
+
+// TestDistanceBenchmarksAgree pins the two benchmark arms to the same
+// answer outside of -bench runs: the incremental evaluator must report
+// the identical DC(C) at every step of the shared walk.
+func TestDistanceBenchmarksAgree(t *testing.T) {
+	topo := topology.PaperSimPlant()
+	n := topo.Nodes()
+	rng := rand.New(rand.NewSource(benchSeed))
+	a := affinity.NewAllocation(n, 1)
+	for v := 0; v < 40; v++ {
+		a.Add(topology.NodeID(rng.Intn(n)), 0)
+	}
+	ev := affinity.NewDistanceEvaluator(topo, a)
+	for step := 0; step < 512; step++ {
+		hosts := a.HostingNodes()
+		p := hosts[rng.Intn(len(hosts))]
+		q := topology.NodeID(rng.Intn(n))
+		if q == p {
+			continue
+		}
+		prev, _ := ev.MovePreview(p, q)
+		a.Remove(p, 0)
+		a.Add(q, 0)
+		ev.Move(p, q)
+		want, wantK := a.Distance(topo)
+		got, gotK := ev.Distance()
+		if got != want || gotK != wantK || prev != want {
+			t.Fatalf("step %d: incremental (%v, %d) preview %v, scratch (%v, %d)",
+				step, got, gotK, prev, want, wantK)
+		}
+	}
+}

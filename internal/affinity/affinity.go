@@ -133,10 +133,11 @@ func (a Allocation) Validate(r model.Request, l [][]int) error {
 // DistanceFrom returns Σ_i (Σ_j C_ij) · D_ik for a fixed central node k:
 // the inner sum of Definition 1 before minimization.
 func (a Allocation) DistanceFrom(t *topology.Topology, k topology.NodeID) float64 {
+	row := t.DistanceRow(k)
 	var sum float64
 	for i := range a {
 		if v := model.Sum(a[i]); v > 0 {
-			sum += float64(v) * t.Distance(topology.NodeID(i), k)
+			sum += float64(v) * row[i]
 		}
 	}
 	return sum
@@ -151,20 +152,21 @@ func (a Allocation) DistanceFrom(t *topology.Topology, k topology.NodeID) float6
 // remove that node's own contribution (Theorem 1's exchange argument), so
 // the scan is restricted to hosting nodes. An empty allocation has distance
 // 0 and central node -1.
+//
+// The matrix is reduced to per-node totals once, then evaluated through
+// DistanceOf — O(n·m + hosts²) instead of O(hosts·n·m). Call sites that
+// re-evaluate after single-VM mutations should use a DistanceEvaluator
+// instead, which prices each move in O(hosts).
 func (a Allocation) Distance(t *topology.Topology) (float64, topology.NodeID) {
-	hosts := a.HostingNodes()
-	if len(hosts) == 0 {
-		return 0, -1
-	}
-	best := -1.0
-	bestK := topology.NodeID(-1)
-	for _, k := range hosts {
-		d := a.DistanceFrom(t, k)
-		if best < 0 || d < best {
-			best, bestK = d, k
+	var hosts []topology.NodeID
+	w := make([]int, len(a))
+	for i := range a {
+		if v := model.Sum(a[i]); v > 0 {
+			w[i] = v
+			hosts = append(hosts, topology.NodeID(i))
 		}
 	}
-	return best, bestK
+	return DistanceOf(t, hosts, w)
 }
 
 // DistanceValue is Distance without the central node, for call sites that

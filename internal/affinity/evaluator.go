@@ -1,0 +1,291 @@
+// Incremental evaluation of the paper's Definition 1. Every optimizer in
+// this repo proposes single-VM moves and needs DC(C) after each candidate;
+// recomputing it from the allocation matrix costs O(hosts²·m) per call.
+// DistanceEvaluator instead caches the per-candidate-center weighted sums
+//
+//	S_k = Σ_i w_i · D_ik   (w_i = Σ_j C_ij, k over hosting nodes)
+//
+// and maintains them under Add/Remove/Move in O(hosts) time, so DC(C) is a
+// single scan over the cached sums and a candidate move can be priced
+// exactly — value and central node — without mutating anything.
+//
+// Exactness: with integer-valued distance tiers (the paper's 0/1/2/4) and
+// integer VM counts, every S_k is an exactly representable float64, so the
+// incremental values are bit-for-bit identical to Allocation.Distance no
+// matter how many updates have been applied.
+package affinity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// DistanceEvaluator tracks one cluster's per-node VM totals and the cached
+// center sums S_k. It mirrors an Allocation the caller mutates in lockstep
+// (or stands alone when only node totals matter). Not safe for concurrent
+// mutation; independent evaluators may be used from different goroutines.
+type DistanceEvaluator struct {
+	t     *topology.Topology
+	w     []int              // VMs per node
+	s     []float64          // S_k, valid only where w[k] > 0
+	hosts []topology.NodeID  // ascending IDs of nodes with w > 0
+	total int                // Σ w
+}
+
+// NewDistanceEvaluator builds an evaluator for allocation a (which may be
+// nil for an initially empty cluster) on topology t. Cost: O(hosts·n) to
+// seed the cached sums.
+func NewDistanceEvaluator(t *topology.Topology, a Allocation) *DistanceEvaluator {
+	e := &DistanceEvaluator{
+		t: t,
+		w: make([]int, t.Nodes()),
+		s: make([]float64, t.Nodes()),
+	}
+	if a != nil {
+		e.Reset(a)
+	}
+	return e
+}
+
+// Reset reloads the evaluator from allocation a, discarding all cached
+// state.
+func (e *DistanceEvaluator) Reset(a Allocation) {
+	for i := range e.w {
+		e.w[i] = 0
+		e.s[i] = 0
+	}
+	e.hosts = e.hosts[:0]
+	e.total = 0
+	for i := range a {
+		if v := model.Sum(a[i]); v > 0 {
+			e.w[i] = v
+			e.total += v
+			e.hosts = append(e.hosts, topology.NodeID(i))
+		}
+	}
+	for _, k := range e.hosts {
+		e.s[k] = e.sumAt(e.t.DistanceRow(k))
+	}
+}
+
+// sumAt computes Σ_h w_h · row[h] over the current hosts: the cached sum
+// for the node whose distance row is given.
+func (e *DistanceEvaluator) sumAt(row []float64) float64 {
+	var sum float64
+	for _, h := range e.hosts {
+		sum += float64(e.w[h]) * row[h]
+	}
+	return sum
+}
+
+// VMsOnNode returns the tracked VM total of node i.
+func (e *DistanceEvaluator) VMsOnNode(i topology.NodeID) int { return e.w[i] }
+
+// TotalVMs returns the tracked cluster size.
+func (e *DistanceEvaluator) TotalVMs() int { return e.total }
+
+// HostingNodes returns the ascending IDs of nodes with at least one VM.
+// The returned slice is the evaluator's working storage: read-only, valid
+// until the next mutation.
+func (e *DistanceEvaluator) HostingNodes() []topology.NodeID { return e.hosts }
+
+// Add registers one more VM on node i in O(hosts).
+func (e *DistanceEvaluator) Add(i topology.NodeID) { e.AddVMs(i, 1) }
+
+// AddVMs registers count more VMs on node i in O(hosts).
+func (e *DistanceEvaluator) AddVMs(i topology.NodeID, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("affinity: AddVMs(%d, %d) with non-positive count", i, count))
+	}
+	row := e.t.DistanceRow(i)
+	newHost := e.w[i] == 0
+	e.w[i] += count
+	e.total += count
+	for _, k := range e.hosts {
+		e.s[k] += float64(count) * row[k]
+	}
+	if newHost {
+		pos := sort.Search(len(e.hosts), func(x int) bool { return e.hosts[x] >= i })
+		e.hosts = append(e.hosts, 0)
+		copy(e.hosts[pos+1:], e.hosts[pos:])
+		e.hosts[pos] = i
+		e.s[i] = e.sumAt(row)
+	}
+}
+
+// Remove deregisters one VM from node i in O(hosts). It panics when none
+// is tracked there, which always indicates a desynchronized caller.
+func (e *DistanceEvaluator) Remove(i topology.NodeID) {
+	if e.w[i] <= 0 {
+		panic(fmt.Sprintf("affinity: evaluator Remove(%d) on empty node", i))
+	}
+	row := e.t.DistanceRow(i)
+	e.w[i]--
+	e.total--
+	if e.w[i] == 0 {
+		pos := sort.Search(len(e.hosts), func(x int) bool { return e.hosts[x] >= i })
+		e.hosts = append(e.hosts[:pos], e.hosts[pos+1:]...)
+	}
+	for _, k := range e.hosts {
+		e.s[k] -= row[k]
+	}
+}
+
+// Move relocates one VM from p to q in O(hosts).
+func (e *DistanceEvaluator) Move(p, q topology.NodeID) {
+	if p == q {
+		return
+	}
+	e.Remove(p)
+	e.Add(q)
+}
+
+// DistanceFrom returns the cached S_k for a hosting node k — the inner sum
+// of Definition 1 before minimization. For non-hosting candidates it is
+// computed on the fly in O(hosts).
+func (e *DistanceEvaluator) DistanceFrom(k topology.NodeID) float64 {
+	if e.w[k] > 0 {
+		return e.s[k]
+	}
+	return e.sumAt(e.t.DistanceRow(k))
+}
+
+// Distance returns DC(C) per Definition 1 with the minimizing central
+// node, scanning only the cached hosting sums. Ties break toward the
+// lowest node ID, matching Allocation.Distance. An empty cluster has
+// distance 0 and central node -1.
+func (e *DistanceEvaluator) Distance() (float64, topology.NodeID) {
+	if e.total == 0 {
+		return 0, -1
+	}
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	for _, k := range e.hosts { // ascending: first strict minimum wins ties
+		if e.s[k] < best {
+			best, bestK = e.s[k], k
+		}
+	}
+	return best, bestK
+}
+
+// MovePreview prices the hypothetical relocation of one VM from p to q:
+// the exact DC(C) and central node the cluster would have after the move,
+// computed in O(hosts) without mutating the evaluator. It panics when p
+// hosts no VM. MovePreview(p, p) is the current Distance.
+func (e *DistanceEvaluator) MovePreview(p, q topology.NodeID) (float64, topology.NodeID) {
+	if e.w[p] <= 0 {
+		panic(fmt.Sprintf("affinity: MovePreview(%d, %d) from empty node", p, q))
+	}
+	if p == q {
+		return e.Distance()
+	}
+	rowP := e.t.DistanceRow(p)
+	rowQ := e.t.DistanceRow(q)
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	// Candidate centers are the post-move hosting nodes, visited in
+	// ascending ID order so ties resolve exactly as a from-scratch scan.
+	consider := func(k topology.NodeID, sk float64) {
+		if d := sk - rowP[k] + rowQ[k]; d < best {
+			best, bestK = d, k
+		}
+	}
+	qSeen := e.w[q] > 0 // q already in hosts: handled by the loop below
+	for _, k := range e.hosts {
+		if !qSeen && k > q {
+			consider(q, e.sumAt(rowQ))
+			qSeen = true
+		}
+		if k == p && e.w[p] == 1 {
+			continue // p stops hosting after the move
+		}
+		consider(k, e.s[k])
+	}
+	if !qSeen {
+		consider(q, e.sumAt(rowQ))
+	}
+	return best, bestK
+}
+
+// MoveDelta returns the exact change in DC(C) a single-VM relocation p→q
+// would cause, without mutating. Negative means the move improves the
+// cluster.
+func (e *DistanceEvaluator) MoveDelta(p, q topology.NodeID) float64 {
+	after, _ := e.MovePreview(p, q)
+	before, _ := e.Distance()
+	return after - before
+}
+
+// PairwiseAffinity computes the all-pairs distance metric of the paper's
+// experimental section from the cached node totals in O(hosts²) — no
+// allocation-matrix scan.
+func (e *DistanceEvaluator) PairwiseAffinity() float64 {
+	sameNode := e.t.Distances().SameNode
+	var sum float64
+	for x := 0; x < len(e.hosts); x++ {
+		hx := e.hosts[x]
+		vx := e.w[hx]
+		sum += float64(vx*(vx-1)/2) * sameNode
+		row := e.t.DistanceRow(hx)
+		for y := x + 1; y < len(e.hosts); y++ {
+			hy := e.hosts[y]
+			sum += float64(vx*e.w[hy]) * row[hy]
+		}
+	}
+	return sum
+}
+
+// PairwiseMoveDelta returns the exact change in PairwiseAffinity caused by
+// relocating one VM from p to q, in O(hosts) and without mutating. With
+// weights w and same-node tier d0 the closed form is
+//
+//	Δ = Σ_{h∉{p,q}} w_h·(D_hq − D_hp) + (w_p − w_q − 1)·D_pq + d0·(w_q − w_p + 1)
+func (e *DistanceEvaluator) PairwiseMoveDelta(p, q topology.NodeID) float64 {
+	if e.w[p] <= 0 {
+		panic(fmt.Sprintf("affinity: PairwiseMoveDelta(%d, %d) from empty node", p, q))
+	}
+	if p == q {
+		return 0
+	}
+	rowP := e.t.DistanceRow(p)
+	rowQ := e.t.DistanceRow(q)
+	var delta float64
+	for _, h := range e.hosts {
+		if h == p || h == q {
+			continue
+		}
+		delta += float64(e.w[h]) * (rowQ[h] - rowP[h])
+	}
+	wp, wq := e.w[p], e.w[q]
+	delta += float64(wp-wq-1) * rowP[q]
+	delta += e.t.Distances().SameNode * float64(wq-wp+1)
+	return delta
+}
+
+// DistanceOf computes Definition 1 once for per-node VM totals w restricted
+// to the hosting nodes hosts (any order; ties still break toward the lowest
+// node ID). It is the one-shot path used by center scans that build many
+// short-lived candidate placements: O(hosts²) with flattened distance rows,
+// versus O(hosts·n·m) for Allocation.Distance on the full matrix.
+func DistanceOf(t *topology.Topology, hosts []topology.NodeID, w []int) (float64, topology.NodeID) {
+	if len(hosts) == 0 {
+		return 0, -1
+	}
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	for _, k := range hosts {
+		row := t.DistanceRow(k)
+		var sum float64
+		for _, i := range hosts {
+			sum += float64(w[i]) * row[i]
+		}
+		if sum < best || (sum == best && k < bestK) {
+			best, bestK = sum, k
+		}
+	}
+	return best, bestK
+}

@@ -91,10 +91,14 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 			}
 		}
 	}
+	// One incremental evaluator per placed cluster: proposals are priced
+	// via O(hosts) previews and the allocation is only mutated on accept.
+	evs := make([]*affinity.DistanceEvaluator, len(res.Allocs))
 	dc := make(map[int]float64, len(placed))
 	total := 0.0
 	for _, qi := range placed {
-		d, _ := res.Allocs[qi].Distance(t)
+		evs[qi] = affinity.NewDistanceEvaluator(t, res.Allocs[qi])
+		d, _ := evs[qi].Distance()
 		dc[qi] = d
 		total += d
 	}
@@ -110,8 +114,9 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 		res.Proposed++
 		qi := placed[rng.Intn(len(placed))]
 		a := res.Allocs[qi]
+		ev := evs[qi]
 		// Pick a random hosted (node, type) cell.
-		hosts := a.HostingNodes()
+		hosts := ev.HostingNodes()
 		from := hosts[rng.Intn(len(hosts))]
 		var types []int
 		for j := 0; j < m; j++ {
@@ -125,20 +130,19 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 			continue
 		}
 		if free[to][j] > 0 {
-			// Relocation proposal.
+			// Relocation proposal, priced without mutating.
 			before := dc[qi]
-			a.Remove(from, model.VMTypeID(j))
-			a.Add(to, model.VMTypeID(j))
-			after, _ := a.Distance(t)
+			after, _ := ev.MovePreview(from, to)
 			if accept(after-before, temp, rng) {
+				a.Remove(from, model.VMTypeID(j))
+				a.Add(to, model.VMTypeID(j))
+				ev.Move(from, to)
 				free[from][j]++
 				free[to][j]--
 				dc[qi] = after
 				total += after - before
 				res.Accepted++
 			} else {
-				a.Remove(to, model.VMTypeID(j))
-				a.Add(from, model.VMTypeID(j))
 				continue
 			}
 		} else {
@@ -155,21 +159,19 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 			}
 			b := res.Allocs[pi]
 			beforeSum := dc[qi] + dc[pi]
-			a.Remove(from, model.VMTypeID(j))
-			a.Add(to, model.VMTypeID(j))
-			b.Remove(to, model.VMTypeID(j))
-			b.Add(from, model.VMTypeID(j))
-			da, _ := a.Distance(t)
-			db, _ := b.Distance(t)
+			da, _ := ev.MovePreview(from, to)
+			db, _ := evs[pi].MovePreview(to, from)
 			if accept((da+db)-beforeSum, temp, rng) {
+				a.Remove(from, model.VMTypeID(j))
+				a.Add(to, model.VMTypeID(j))
+				ev.Move(from, to)
+				b.Remove(to, model.VMTypeID(j))
+				b.Add(from, model.VMTypeID(j))
+				evs[pi].Move(to, from)
 				dc[qi], dc[pi] = da, db
 				total += (da + db) - beforeSum
 				res.Accepted++
 			} else {
-				a.Remove(to, model.VMTypeID(j))
-				a.Add(from, model.VMTypeID(j))
-				b.Remove(from, model.VMTypeID(j))
-				b.Add(to, model.VMTypeID(j))
 				continue
 			}
 		}

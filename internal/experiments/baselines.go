@@ -34,18 +34,25 @@ func BaselineComparison(seed int64) (*BaselineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	placers := []placement.Placer{
-		&placement.OnlineHeuristic{},
-		placement.FirstFit{},
-		placement.PackBestFit{},
-		placement.RoundRobinStripe{},
-		&placement.Random{Rand: rand.New(rand.NewSource(seed + 7))},
+	// Constructors, not shared instances: each worker gets a private
+	// placer (Random carries a mutable rand.Rand), and every strategy
+	// derives its randomness from the seed alone, so the comparison is
+	// identical for any worker count.
+	placers := []func() placement.Placer{
+		func() placement.Placer { return &placement.OnlineHeuristic{} },
+		func() placement.Placer { return placement.FirstFit{} },
+		func() placement.Placer { return placement.PackBestFit{} },
+		func() placement.Placer { return placement.RoundRobinStripe{} },
+		func() placement.Placer {
+			return &placement.Random{Rand: rand.New(rand.NewSource(seed + 7))}
+		},
 	}
-	out := &BaselineResult{}
-	for _, p := range placers {
+	out := &BaselineResult{Rows: make([]BaselineRow, len(placers))}
+	err = forEachIndex(len(placers), func(i int) error {
+		p := placers[i]()
 		res, err := placement.PlaceSequential(setup.Topo, setup.Caps, setup.Requests, p)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline %s: %w", p.Name(), err)
+			return fmt.Errorf("experiments: baseline %s: %w", p.Name(), err)
 		}
 		row := BaselineRow{Strategy: p.Name(), Failed: res.Failed}
 		var affSum float64
@@ -62,7 +69,11 @@ func BaselineComparison(seed int64) (*BaselineResult, error) {
 			row.MeanPerReq = row.Total / float64(row.Placed)
 			row.MeanAffinity = affSum / float64(row.Placed)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -325,21 +325,35 @@ func (r *Fig56Result) Render() string {
 // Fig56Averages runs Figs. 5 and 6 over n consecutive seeds and returns
 // the mean improvement percentages (normal, small). A single draw of 20
 // random requests is noisy; the averages are what EXPERIMENTS.md reports.
+//
+// Seeds run on the shared worker pool; each writes into its own slot and
+// the sums are accumulated in seed order afterwards, so the result is
+// bit-for-bit identical to a serial run for any worker count.
 func Fig56Averages(seed int64, n int) (normalPct, smallPct float64, err error) {
 	if n <= 0 {
 		return 0, 0, fmt.Errorf("experiments: Fig56Averages needs a positive seed count")
 	}
-	for s := int64(0); s < int64(n); s++ {
-		f5, err := Fig5(seed + s)
+	normals := make([]float64, n)
+	smalls := make([]float64, n)
+	err = forEachIndex(n, func(i int) error {
+		f5, err := Fig5(seed + int64(i))
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		f6, err := Fig6(seed + s)
+		f6, err := Fig6(seed + int64(i))
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		normalPct += f5.ImprovementPct
-		smallPct += f6.ImprovementPct
+		normals[i] = f5.ImprovementPct
+		smalls[i] = f6.ImprovementPct
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < n; i++ {
+		normalPct += normals[i]
+		smallPct += smalls[i]
 	}
 	return normalPct / float64(n), smallPct / float64(n), nil
 }
@@ -533,13 +547,18 @@ func RunJobAcrossTopologies(cfg MRExperimentConfig, mk func(inputFile string) ma
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig78Result{}
-	for _, mt := range tops {
+	out := &Fig78Result{Rows: make([]Fig78Row, len(tops))}
+	err = forEachIndex(len(tops), func(i int) error {
+		mt := tops[i]
 		row, err := runMRClusterJob(mt.Name, mt.Alloc, cfg, mk("input"))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: cluster %s: %w", mt.Name, err)
+			return fmt.Errorf("experiments: cluster %s: %w", mt.Name, err)
 		}
-		out.Rows = append(out.Rows, *row)
+		out.Rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

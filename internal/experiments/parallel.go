@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the worker pool used by the experiment runners.
+// 0 means GOMAXPROCS. Tests override it (e.g. to 1 and 8) to assert
+// that results are identical regardless of worker count.
+var maxWorkers = 0
+
+func workerCount(n int) int {
+	w := maxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachIndex runs fn(0) … fn(n−1) on a bounded worker pool.
+//
+// Determinism contract: fn must write its result into a per-index slot
+// (out[i] = …) and must not read other indices' slots or share mutable
+// state across calls, so the assembled output is independent of worker
+// count and goroutine scheduling. When several calls fail, the error for
+// the lowest index is returned — again independent of scheduling.
+func forEachIndex(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := workerCount(n)
+	errs := make([]error, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

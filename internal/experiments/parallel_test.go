@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the pool width pinned, restoring it after.
+func withWorkers(t *testing.T, w int, fn func()) {
+	t.Helper()
+	old := maxWorkers
+	maxWorkers = w
+	defer func() { maxWorkers = old }()
+	fn()
+}
+
+// TestForEachIndexCoversAllAndOrdersErrors exercises the pool directly:
+// every index runs exactly once, and the reported error is the
+// lowest-index failure regardless of scheduling.
+func TestForEachIndexCoversAllAndOrdersErrors(t *testing.T) {
+	for _, w := range []int{1, 3, 16} {
+		withWorkers(t, w, func() {
+			var calls [40]int32
+			if err := forEachIndex(len(calls), func(i int) error {
+				atomic.AddInt32(&calls[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			for i, c := range calls {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+				}
+			}
+			errLow := errors.New("low")
+			errHigh := errors.New("high")
+			err := forEachIndex(len(calls), func(i int) error {
+				switch i {
+				case 7:
+					return errLow
+				case 31:
+					return errHigh
+				}
+				return nil
+			})
+			if err != errLow {
+				t.Fatalf("workers=%d: got %v, want lowest-index error", w, err)
+			}
+		})
+	}
+	if err := forEachIndex(0, func(int) error { t.Fatal("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRunnersDeterministic runs every parallelized experiment
+// with 1 worker and with 8 and requires deeply equal results: the pool
+// must not change any reported number.
+func TestParallelRunnersDeterministic(t *testing.T) {
+	const seed = 424242
+
+	type outcome struct {
+		normal, small float64
+		sweep         *SweepResult
+		base          *BaselineResult
+		fig78         *Fig78Result
+	}
+	run := func() *outcome {
+		o := &outcome{}
+		var err error
+		o.normal, o.small, err = Fig56Averages(seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.sweep, err = SelectivitySweep(seed, []float64{0.01, 0.5, 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.base, err = BaselineComparison(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.fig78, err = Fig7and8(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	var serial, wide *outcome
+	withWorkers(t, 1, func() { serial = run() })
+	withWorkers(t, 8, func() { wide = run() })
+
+	if serial.normal != wide.normal || serial.small != wide.small {
+		t.Errorf("Fig56Averages differs: serial (%v, %v), 8 workers (%v, %v)",
+			serial.normal, serial.small, wide.normal, wide.small)
+	}
+	if !reflect.DeepEqual(serial.sweep, wide.sweep) {
+		t.Errorf("SelectivitySweep differs:\nserial %+v\n8 workers %+v", serial.sweep, wide.sweep)
+	}
+	if !reflect.DeepEqual(serial.base, wide.base) {
+		t.Errorf("BaselineComparison differs:\nserial %+v\n8 workers %+v", serial.base, wide.base)
+	}
+	if !reflect.DeepEqual(serial.fig78, wide.fig78) {
+		t.Errorf("Fig7and8 differs:\nserial %+v\n8 workers %+v", serial.fig78, wide.fig78)
+	}
+}

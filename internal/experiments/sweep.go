@@ -43,22 +43,28 @@ func SelectivitySweep(seed int64, selectivities []float64) (*SweepResult, error)
 	compact := tops[0]
 	spread := tops[len(tops)-1]
 	cfg := DefaultMRExperimentConfig(seed)
-	out := &SweepResult{}
 	for _, sel := range selectivities {
 		if sel < 0 {
 			return nil, fmt.Errorf("experiments: negative selectivity %v", sel)
 		}
+	}
+	// Sweep points are independent (each builds its own plant and
+	// simulator), so they run on the shared worker pool, one row slot per
+	// point.
+	out := &SweepResult{Rows: make([]SweepRow, len(selectivities))}
+	err = forEachIndex(len(selectivities), func(i int) error {
+		sel := selectivities[i]
 		job := mapreduce.WordCount("input")
 		job.Name = fmt.Sprintf("sweep-%.2f", sel)
 		job.MapSelectivity = sel
 		job.NumReduces = 4
 		cSec, _, err := runSweepJob(compact.Alloc, cfg, job)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sSec, remote, err := runSweepJob(spread.Alloc, cfg, job)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := SweepRow{
 			Selectivity:   sel,
@@ -69,7 +75,11 @@ func SelectivitySweep(seed int64, selectivities []float64) (*SweepResult, error)
 		if cSec > 0 {
 			row.SpeedupPct = (sSec - cSec) / cSec * 100
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -74,7 +74,10 @@ func (p *Placer) Score(t *topology.Topology, a affinity.Allocation) float64 {
 }
 
 // Place implements placement.Placer: seed with Algorithm 1, then improve
-// the blended score by relocating single VMs into spare capacity.
+// the blended score by relocating single VMs into spare capacity. Candidate
+// moves are priced through the incremental evaluator — the DC part via
+// MovePreview, the shuffle part via the closed-form pairwise delta — and
+// the allocation is only mutated when a move is accepted.
 func (p *Placer) Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error) {
 	if err := p.Profile.Validate(); err != nil {
 		return nil, err
@@ -90,7 +93,11 @@ func (p *Placer) Place(t *topology.Topology, l [][]int, r model.Request) (affini
 	}
 	n := t.Nodes()
 	m := len(r)
-	score := p.Score(t, alloc)
+	w := p.Profile.ShuffleWeight
+	ev := affinity.NewDistanceEvaluator(t, alloc)
+	pair := ev.PairwiseAffinity()
+	dc, _ := ev.Distance()
+	score := w*pair + (1-w)*dc
 	for iter := 0; iter < maxIter; iter++ {
 		improved := false
 		for from := 0; from < n && !improved; from++ {
@@ -102,15 +109,16 @@ func (p *Placer) Place(t *topology.Topology, l [][]int, r model.Request) (affini
 					if to == from || alloc[to][j] >= l[to][j] {
 						continue
 					}
-					alloc.Remove(topology.NodeID(from), model.VMTypeID(j))
-					alloc.Add(topology.NodeID(to), model.VMTypeID(j))
-					if s := p.Score(t, alloc); s < score-1e-12 {
-						score = s
+					dc1, _ := ev.MovePreview(topology.NodeID(from), topology.NodeID(to))
+					pair1 := pair + ev.PairwiseMoveDelta(topology.NodeID(from), topology.NodeID(to))
+					if s := w*pair1 + (1-w)*dc1; s < score-1e-12 {
+						alloc.Remove(topology.NodeID(from), model.VMTypeID(j))
+						alloc.Add(topology.NodeID(to), model.VMTypeID(j))
+						ev.Move(topology.NodeID(from), topology.NodeID(to))
+						pair, score = pair1, s
 						improved = true
 						break
 					}
-					alloc.Remove(topology.NodeID(to), model.VMTypeID(j))
-					alloc.Add(topology.NodeID(from), model.VMTypeID(j))
 				}
 			}
 		}

@@ -12,7 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/model"
@@ -74,9 +74,25 @@ const (
 type OnlineHeuristic struct {
 	// Policy selects the center scan strategy; default ScanAllCenters.
 	Policy CenterPolicy
-	// Rand seeds RandomCenter; ignored by ScanAllCenters. Not safe for
-	// concurrent Place calls when set.
+	// Rand seeds RandomCenter; ignored by ScanAllCenters. Each Place call
+	// derives its own generator from a single mutex-guarded draw, so one
+	// placer is safe for concurrent Place calls.
 	Rand *rand.Rand
+
+	randMu sync.Mutex // guards Rand
+}
+
+// placeRand derives an independent per-call generator from the shared
+// seed source. Only the one seed draw is serialized, so concurrent Place
+// calls never share *rand.Rand state.
+func (h *OnlineHeuristic) placeRand() *rand.Rand {
+	if h.Rand == nil {
+		return nil
+	}
+	h.randMu.Lock()
+	seed := h.Rand.Int63()
+	h.randMu.Unlock()
+	return rand.New(rand.NewSource(seed))
 }
 
 // Name implements Placer.
@@ -111,16 +127,21 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 		best     affinity.Allocation
 		bestDist float64
 	)
-	order := h.centerOrder(n)
+	buf := newBuildBuffer(n, m)
+	order := h.centerOrder(n, h.placeRand())
 	for _, center := range order {
-		alloc, ok := buildAround(t, l, r, center)
+		ok := buf.buildAround(t, l, r, center)
 		if !ok {
+			buf.reset()
 			continue
 		}
-		d, _ := alloc.Distance(t)
+		d, _ := affinity.DistanceOf(t, buf.hosts, buf.w)
 		if best == nil || d < bestDist {
-			best, bestDist = alloc, d
+			// The buffer is reused across centers; only a new incumbent is
+			// materialized.
+			best, bestDist = buf.alloc.Clone(), d
 		}
+		buf.reset()
 		if h.Policy == RandomCenter && best != nil {
 			// The paper breaks out of L1 once a full allocation improves
 			// on the incumbent; with a random start that means the first
@@ -140,14 +161,14 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 }
 
 // centerOrder yields candidate centers: identity order for the full scan,
-// or a random rotation for RandomCenter.
-func (h *OnlineHeuristic) centerOrder(n int) []topology.NodeID {
+// or a random rotation for RandomCenter driven by the per-call generator.
+func (h *OnlineHeuristic) centerOrder(n int, rng *rand.Rand) []topology.NodeID {
 	order := make([]topology.NodeID, n)
 	for i := range order {
 		order[i] = topology.NodeID(i)
 	}
-	if h.Policy == RandomCenter && h.Rand != nil {
-		start := h.Rand.Intn(n)
+	if h.Policy == RandomCenter && rng != nil {
+		start := rng.Intn(n)
 		rot := make([]topology.NodeID, 0, n)
 		rot = append(rot, order[start:]...)
 		rot = append(rot, order[:start]...)
@@ -156,85 +177,157 @@ func (h *OnlineHeuristic) centerOrder(n int) []topology.NodeID {
 	return order
 }
 
+// buildBuffer holds the scratch state of the center scan so a single
+// allocation matrix, weight vector, and candidate lists are reused across
+// all n candidate centers — the scan itself allocates nothing per center.
+type buildBuffer struct {
+	alloc    affinity.Allocation
+	w        []int             // per-node VM totals of the current build
+	hosts    []topology.NodeID // take-order hosting nodes
+	supply   []int             // per-node supply of the current residual
+	residual model.Request
+	cand     []topology.NodeID // peer/remote candidate scratch
+}
+
+func newBuildBuffer(n, m int) *buildBuffer {
+	return &buildBuffer{
+		alloc:  affinity.NewAllocation(n, m),
+		w:      make([]int, n),
+		hosts:  make([]topology.NodeID, 0, 8),
+		supply: make([]int, n),
+		cand:   make([]topology.NodeID, 0, n),
+	}
+}
+
+// reset clears only the cells the last build touched.
+func (b *buildBuffer) reset() {
+	for _, i := range b.hosts {
+		row := b.alloc[i]
+		for j := range row {
+			row[j] = 0
+		}
+		b.w[i] = 0
+	}
+	b.hosts = b.hosts[:0]
+}
+
+// take grabs com(L[i], residual) into the build. Reports whether the
+// residual is fully covered.
+func (b *buildBuffer) take(l [][]int, i topology.NodeID) bool {
+	taken := 0
+	left := 0
+	li := l[i]
+	ai := b.alloc[i]
+	for j, need := range b.residual {
+		if need > 0 {
+			k := li[j]
+			if k > need {
+				k = need
+			}
+			ai[j] += k
+			b.residual[j] = need - k
+			taken += k
+			left += need - k
+		}
+	}
+	if taken > 0 {
+		if b.w[i] == 0 {
+			b.hosts = append(b.hosts, i)
+		}
+		b.w[i] += taken
+	}
+	return left == 0
+}
+
+// supplyOf is Σ_j min(L[i][j], residual[j]) without materializing the
+// com vector.
+func (b *buildBuffer) supplyOf(li []int) int {
+	s := 0
+	for j, need := range b.residual {
+		if k := li[j]; k < need {
+			s += k
+		} else {
+			s += need
+		}
+	}
+	return s
+}
+
+// sortCandidates orders b.cand by the strict total order less (an
+// insertion sort: candidate lists are rack-sized, and every comparator
+// breaks ties by node ID, so the order is deterministic).
+func (b *buildBuffer) sortCandidates(less func(a, c topology.NodeID) bool) {
+	ids := b.cand
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
 // buildAround greedily builds an allocation centered on the given node:
 // the center takes com(L[center], R); same-rack nodes follow, sorted by
 // how much of the residual they can supply (descending, the paper's
 // getList ordering); remote nodes close the remainder in ascending
-// distance tiers.
-func buildAround(t *topology.Topology, l [][]int, r model.Request, center topology.NodeID) (affinity.Allocation, bool) {
+// distance tiers, ties by descending supply then node ID. On return
+// b.alloc/b.hosts/b.w describe the build; the caller must reset() before
+// the next center.
+func (b *buildBuffer) buildAround(t *topology.Topology, l [][]int, r model.Request, center topology.NodeID) bool {
 	n := t.Nodes()
-	m := len(r)
-	alloc := affinity.NewAllocation(n, m)
-	residual := r.Clone()
+	b.residual = append(b.residual[:0], r...)
 
-	take := func(i topology.NodeID) bool {
-		grab := model.Min(l[i], residual)
-		if model.Sum(grab) == 0 {
-			return false
-		}
-		for j, k := range grab {
-			alloc[i][j] += k
-			residual[j] -= k
-		}
-		return residual.IsZero()
-	}
-
-	if take(center) {
-		return alloc, true
+	if b.take(l, center) {
+		return true
 	}
 	// Same rack, descending supply of the current residual; ties by ID.
-	rackPeers := peersBySupply(t.RackNodes(t.RackOf(center)), l, residual, center)
-	for _, i := range rackPeers {
-		if take(i) {
-			return alloc, true
+	b.cand = b.cand[:0]
+	for _, id := range t.RackNodes(t.RackOf(center)) {
+		if id != center {
+			b.cand = append(b.cand, id)
+			b.supply[id] = b.supplyOf(l[id])
+		}
+	}
+	b.sortCandidates(func(a, c topology.NodeID) bool {
+		if b.supply[a] != b.supply[c] {
+			return b.supply[a] > b.supply[c]
+		}
+		return a < c
+	})
+	for _, i := range b.cand {
+		if b.take(l, i) {
+			return true
 		}
 	}
 	// Remote nodes: ascending distance from the center, then descending
 	// supply within the same distance tier.
-	remote := make([]topology.NodeID, 0, n)
+	b.cand = b.cand[:0]
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
 		if t.RackOf(id) != t.RackOf(center) {
-			remote = append(remote, id)
+			b.cand = append(b.cand, id)
+			b.supply[id] = b.supplyOf(l[id])
 		}
 	}
-	sort.SliceStable(remote, func(a, b int) bool {
-		da, db := t.Distance(remote[a], center), t.Distance(remote[b], center)
-		if da != db {
-			return da < db
+	centerRow := t.DistanceRow(center)
+	b.sortCandidates(func(a, c topology.NodeID) bool {
+		if centerRow[a] != centerRow[c] {
+			return centerRow[a] < centerRow[c]
 		}
-		sa, sb := model.Sum(model.Min(l[remote[a]], residual)), model.Sum(model.Min(l[remote[b]], residual))
-		if sa != sb {
-			return sa > sb
+		if b.supply[a] != b.supply[c] {
+			return b.supply[a] > b.supply[c]
 		}
-		return remote[a] < remote[b]
+		return a < c
 	})
-	for _, i := range remote {
-		if take(i) {
-			return alloc, true
+	for _, i := range b.cand {
+		if b.take(l, i) {
+			return true
 		}
 	}
-	return alloc, residual.IsZero()
-}
-
-// peersBySupply sorts the center's rack peers by descending supply of the
-// residual, excluding the center itself.
-func peersBySupply(rack []topology.NodeID, l [][]int, residual model.Request, center topology.NodeID) []topology.NodeID {
-	peers := make([]topology.NodeID, 0, len(rack))
-	for _, id := range rack {
-		if id != center {
-			peers = append(peers, id)
-		}
+	left := 0
+	for _, need := range b.residual {
+		left += need
 	}
-	sort.SliceStable(peers, func(a, b int) bool {
-		sa := model.Sum(model.Min(l[peers[a]], residual))
-		sb := model.Sum(model.Min(l[peers[b]], residual))
-		if sa != sb {
-			return sa > sb
-		}
-		return peers[a] < peers[b]
-	})
-	return peers
+	return left == 0
 }
 
 // BatchResult is the outcome of placing a batch of requests.
@@ -300,6 +393,15 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 	//   swap — clusters a and b trade one VM of the same type across two
 	//          nodes (capacity neutral);
 	//   move — cluster a shifts one VM into residual capacity.
+	// One incremental evaluator per placed cluster carries DC(C) across
+	// all passes; candidate exchanges are priced through O(hosts) previews
+	// and allocations are only touched on accept.
+	evs := make([]*affinity.DistanceEvaluator, len(res.Allocs))
+	for qi, a := range res.Allocs {
+		if a != nil {
+			evs[qi] = affinity.NewDistanceEvaluator(t, a)
+		}
+	}
 	maxPasses := g.MaxPasses
 	hardCap := 64 // fixpoint safety net; each pass monotonically improves
 	if maxPasses <= 0 || maxPasses > hardCap {
@@ -307,10 +409,10 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 	}
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
-		if g.movePass(t, res, work) {
+		if g.movePass(t, res, work, evs) {
 			improved = true
 		}
-		if g.swapPass(t, res) {
+		if g.swapPass(res, evs) {
 			improved = true
 		}
 		res.Passes++
@@ -323,9 +425,9 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 	}
 
 	res.Total = 0
-	for _, a := range res.Allocs {
-		if a != nil {
-			d, _ := a.Distance(t)
+	for _, ev := range evs {
+		if ev != nil {
+			d, _ := ev.Distance()
 			res.Total += d
 		}
 	}
@@ -333,15 +435,18 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 }
 
 // movePass relocates single VMs into residual capacity whenever that
-// strictly lowers the owning cluster's DC. Returns true if anything moved.
-func (g *GlobalSubOpt) movePass(t *topology.Topology, res *BatchResult, residual [][]int) bool {
+// strictly lowers the owning cluster's DC. Candidate moves are priced via
+// MovePreview; the allocation is only mutated on accept. Returns true if
+// anything moved.
+func (g *GlobalSubOpt) movePass(t *topology.Topology, res *BatchResult, residual [][]int, evs []*affinity.DistanceEvaluator) bool {
 	n := t.Nodes()
 	improvedAny := false
-	for _, a := range res.Allocs {
+	for qi, a := range res.Allocs {
 		if a == nil {
 			continue
 		}
-		d0, center := a.Distance(t)
+		ev := evs[qi]
+		d0, center := ev.Distance()
 		for i := 0; i < n; i++ {
 			for j := range a[i] {
 				if a[i][j] == 0 {
@@ -357,17 +462,15 @@ func (g *GlobalSubOpt) movePass(t *topology.Topology, res *BatchResult, residual
 					if affinity.MoveDelta(t, center, from, to) >= 0 {
 						continue
 					}
-					a.Remove(from, model.VMTypeID(j))
-					a.Add(to, model.VMTypeID(j))
-					d1, c1 := a.Distance(t)
+					d1, c1 := ev.MovePreview(from, to)
 					if d1 < d0-1e-12 {
+						a.Remove(from, model.VMTypeID(j))
+						a.Add(to, model.VMTypeID(j))
+						ev.Move(from, to)
 						residual[i][j]++
 						residual[q][j]--
 						d0, center = d1, c1
 						improvedAny = true
-					} else {
-						a.Remove(to, model.VMTypeID(j))
-						a.Add(from, model.VMTypeID(j))
 					}
 					if a[i][j] == 0 {
 						break
@@ -382,7 +485,7 @@ func (g *GlobalSubOpt) movePass(t *topology.Topology, res *BatchResult, residual
 // swapPass applies Theorem 2 across cluster pairs with distinct centers:
 // trading one same-type VM between two nodes is capacity neutral and is
 // kept whenever it shrinks DC(a)+DC(b).
-func (g *GlobalSubOpt) swapPass(t *topology.Topology, res *BatchResult) bool {
+func (g *GlobalSubOpt) swapPass(res *BatchResult, evs []*affinity.DistanceEvaluator) bool {
 	improvedAny := false
 	allocs := res.Allocs
 	for ai := 0; ai < len(allocs); ai++ {
@@ -395,12 +498,12 @@ func (g *GlobalSubOpt) swapPass(t *topology.Topology, res *BatchResult) bool {
 			if b == nil {
 				continue
 			}
-			da, ca := a.Distance(t)
-			db, cb := b.Distance(t)
+			da, ca := evs[ai].Distance()
+			db, cb := evs[bi].Distance()
 			if ca == cb {
 				continue // Theorem 2 precondition: distinct centers
 			}
-			if g.swapPair(t, a, b, da+db) {
+			if g.swapPair(a, b, evs[ai], evs[bi], da+db) {
 				res.Swaps++
 				improvedAny = true
 			}
@@ -410,8 +513,9 @@ func (g *GlobalSubOpt) swapPass(t *topology.Topology, res *BatchResult) bool {
 }
 
 // swapPair greedily applies improving single-VM swaps between two
-// allocations until none remains. Returns true if at least one applied.
-func (g *GlobalSubOpt) swapPair(t *topology.Topology, a, b affinity.Allocation, sum0 float64) bool {
+// allocations until none remains, pricing each trade with two move
+// previews (no mutate-and-revert). Returns true if at least one applied.
+func (g *GlobalSubOpt) swapPair(a, b affinity.Allocation, evA, evB *affinity.DistanceEvaluator, sum0 float64) bool {
 	n := len(a)
 	m := len(a[0])
 	improved := false
@@ -427,23 +531,20 @@ func (g *GlobalSubOpt) swapPair(t *topology.Topology, a, b affinity.Allocation, 
 						continue
 					}
 					// Trade: a's VM p→q, b's VM q→p.
-					a.Remove(topology.NodeID(p), model.VMTypeID(j))
-					a.Add(topology.NodeID(q), model.VMTypeID(j))
-					b.Remove(topology.NodeID(q), model.VMTypeID(j))
-					b.Add(topology.NodeID(p), model.VMTypeID(j))
-					da, _ := a.Distance(t)
-					db, _ := b.Distance(t)
+					da, _ := evA.MovePreview(topology.NodeID(p), topology.NodeID(q))
+					db, _ := evB.MovePreview(topology.NodeID(q), topology.NodeID(p))
 					if da+db < sum0-1e-12 {
+						a.Remove(topology.NodeID(p), model.VMTypeID(j))
+						a.Add(topology.NodeID(q), model.VMTypeID(j))
+						evA.Move(topology.NodeID(p), topology.NodeID(q))
+						b.Remove(topology.NodeID(q), model.VMTypeID(j))
+						b.Add(topology.NodeID(p), model.VMTypeID(j))
+						evB.Move(topology.NodeID(q), topology.NodeID(p))
 						sum0 = da + db
 						improved = true
 						found = true
 						break
 					}
-					// Revert.
-					a.Remove(topology.NodeID(q), model.VMTypeID(j))
-					a.Add(topology.NodeID(p), model.VMTypeID(j))
-					b.Remove(topology.NodeID(p), model.VMTypeID(j))
-					b.Add(topology.NodeID(q), model.VMTypeID(j))
 				}
 			}
 		}

@@ -69,6 +69,32 @@ type Topology struct {
 	racks     int
 	clouds    int
 	rackNodes [][]NodeID // nodes grouped by rack
+	// flat is the materialized row-major n×n distance table, so the hot
+	// Distance path is an array load instead of rack/cloud branch logic.
+	// It is nil above flatTableMaxNodes, where the O(n²) memory would
+	// outweigh the lookup savings.
+	flat []float64
+}
+
+// flatTableMaxNodes caps the plant size for which the flattened distance
+// table is materialized (4096² float64 = 128 MiB). Larger plants fall back
+// to the tiered branch computation.
+const flatTableMaxNodes = 4096
+
+// buildFlat fills t.flat for plants small enough to materialize.
+func (t *Topology) buildFlat() {
+	n := len(t.nodes)
+	if n > flatTableMaxNodes {
+		return
+	}
+	flat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		row := flat[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = t.tierDistance(NodeID(i), NodeID(j))
+		}
+	}
+	t.flat = flat
 }
 
 // Builder accumulates racks and nodes, then produces a Topology.
@@ -149,6 +175,7 @@ func (b *Builder) Build() (*Topology, error) {
 		t.cloudOf[i] = n.Cloud
 		t.rackNodes[n.Rack] = append(t.rackNodes[n.Rack], n.ID)
 	}
+	t.buildFlat()
 	return t, nil
 }
 
@@ -214,6 +241,15 @@ func (t *Topology) Distances() Distances { return t.dist }
 // Distance returns D[a][b], the distance between two nodes. It is symmetric
 // and Distance(a, a) equals the SameNode tier (0 in the paper).
 func (t *Topology) Distance(a, b NodeID) float64 {
+	if t.flat != nil {
+		return t.flat[int(a)*len(t.nodes)+int(b)]
+	}
+	return t.tierDistance(a, b)
+}
+
+// tierDistance computes D[a][b] from the rack/cloud tiers without
+// consulting the flattened table.
+func (t *Topology) tierDistance(a, b NodeID) float64 {
 	switch {
 	case a == b:
 		return t.dist.SameNode
@@ -224,6 +260,21 @@ func (t *Topology) Distance(a, b NodeID) float64 {
 	default:
 		return t.dist.SameRack
 	}
+}
+
+// DistanceRow returns the row D[a][·] of the distance matrix. For plants
+// with a materialized flat table the returned slice aliases it and must not
+// be modified; larger plants get a freshly computed row.
+func (t *Topology) DistanceRow(a NodeID) []float64 {
+	n := len(t.nodes)
+	if t.flat != nil {
+		return t.flat[int(a)*n : (int(a)+1)*n]
+	}
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = t.tierDistance(a, NodeID(j))
+	}
+	return row
 }
 
 // DistanceMatrix materializes the full n×n matrix D. Placement algorithms
@@ -323,6 +374,7 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 		built.cloudOf[i] = n.Cloud
 		built.rackNodes[n.Rack] = append(built.rackNodes[n.Rack], n.ID)
 	}
+	built.buildFlat()
 	*t = *built
 	return nil
 }

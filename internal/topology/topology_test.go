@@ -259,3 +259,66 @@ func TestDistanceConcurrentReads(t *testing.T) {
 		<-done
 	}
 }
+
+func TestFlatTableMatchesTierDistance(t *testing.T) {
+	tp, err := Uniform(2, 3, 5, DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.flat == nil {
+		t.Fatal("flat table not materialized for a 30-node plant")
+	}
+	for i := 0; i < tp.Nodes(); i++ {
+		row := tp.DistanceRow(NodeID(i))
+		if len(row) != tp.Nodes() {
+			t.Fatalf("row %d has length %d", i, len(row))
+		}
+		for j := 0; j < tp.Nodes(); j++ {
+			want := tp.tierDistance(NodeID(i), NodeID(j))
+			if got := tp.Distance(NodeID(i), NodeID(j)); got != want {
+				t.Errorf("Distance(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if row[j] != want {
+				t.Errorf("DistanceRow(%d)[%d] = %v, want %v", i, j, row[j], want)
+			}
+		}
+	}
+}
+
+func TestFlatTableSurvivesJSONRoundTrip(t *testing.T) {
+	tp, err := Uniform(1, 2, 3, DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("decoded topology lost the flat distance table")
+	}
+	for i := 0; i < tp.Nodes(); i++ {
+		for j := 0; j < tp.Nodes(); j++ {
+			if back.Distance(NodeID(i), NodeID(j)) != tp.Distance(NodeID(i), NodeID(j)) {
+				t.Fatalf("distance (%d,%d) changed across round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestDistanceRowWithoutFlatTable(t *testing.T) {
+	tp := PaperSimPlant()
+	saved := tp.flat
+	tp.flat = nil // simulate a plant above flatTableMaxNodes
+	defer func() { tp.flat = saved }()
+	row := tp.DistanceRow(3)
+	for j := range row {
+		if row[j] != tp.tierDistance(3, NodeID(j)) {
+			t.Fatalf("fallback row entry %d = %v", j, row[j])
+		}
+	}
+}
