@@ -1,14 +1,21 @@
 // Command affinitysim runs the paper's simulation experiments (Figs. 2–6)
 // on the 3-rack × 10-node cloud and prints figure-shaped terminal output.
+// The ops figure runs the instrumented operational scenario (cloud
+// simulation + one MapReduce job) and is the producer for the -metrics
+// and -trace exports.
 //
 // Usage:
 //
-//	affinitysim [-seed N] [-fig 2|3|4|5|6|all]
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|all]
+//	            [-metrics out.json] [-trace out.jsonl] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"affinitycluster/internal/experiments"
@@ -16,56 +23,99 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
-	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, or all")
+	metricsPath := flag.String("metrics", "", "write the ops scenario's JSON metric snapshot to this file")
+	tracePath := flag.String("trace", "", "write the ops scenario's JSONL event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*seed, *fig); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "affinitysim: pprof:", err)
+			}
+		}()
+	}
+
+	if err := run(os.Stdout, *seed, *fig, *metricsPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "affinitysim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, fig string) error {
+func run(w io.Writer, seed int64, fig, metricsPath, tracePath string) error {
 	want := func(f string) bool { return fig == "all" || fig == f }
 	if want("2") {
 		res, err := experiments.Fig2(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 	if want("3") {
 		res, err := experiments.Fig3(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 	if want("4") {
 		res, err := experiments.Fig4(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 	if want("5") {
 		res, err := experiments.Fig5(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 	if want("6") {
 		res, err := experiments.Fig6(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
-	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6"}, fig) {
+	// The ops scenario is the metrics/trace producer; force it when an
+	// export was requested even if -fig selects only classic figures.
+	if want("ops") || metricsPath != "" || tracePath != "" {
+		res, err := experiments.Ops(seed, experiments.DefaultOpsConfig(seed))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Render())
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, res.WriteMetrics); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		if tracePath != "" {
+			if err := writeFile(tracePath, res.WriteTrace); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+		}
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops"}, fig) {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil
+}
+
+// writeFile creates path and streams one export into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func contains(xs []string, x string) bool {

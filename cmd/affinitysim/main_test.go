@@ -1,23 +1,116 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunAllFigures(t *testing.T) {
-	if err := run(2012, "all"); err != nil {
+	if err := run(io.Discard, 2012, "all", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
 	for _, fig := range []string{"2", "3", "4", "5", "6"} {
-		if err := run(7, fig); err != nil {
+		if err := run(io.Discard, 7, fig, "", ""); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(7, "9"); err == nil {
+	if err := run(io.Discard, 7, "9", "", ""); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestOpsExportsAllMetricFamilies(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	var out bytes.Buffer
+	if err := run(&out, 2012, "ops", metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Ops scenario") {
+		t.Errorf("ops render missing headline:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"Counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v", err)
+	}
+	// One representative metric per instrumented family.
+	for _, name := range []string{
+		"cloudsim.served",
+		"queue.enqueued",
+		"placement.place_calls",
+		"migration.plans",
+		"mapreduce.jobs",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metric %q missing from snapshot", name)
+		}
+	}
+
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"kind":"place"`, `"kind":"mr_job_done"`} {
+		if !strings.Contains(string(tr), kind) {
+			t.Errorf("trace missing event %s", kind)
+		}
+	}
+}
+
+// Two runs with the same seed must produce byte-identical exports.
+func TestOpsExportsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2][2]string{}
+	for i := 0; i < 2; i++ {
+		m := filepath.Join(dir, "m"+string(rune('0'+i))+".json")
+		tr := filepath.Join(dir, "t"+string(rune('0'+i))+".jsonl")
+		if err := run(io.Discard, 4242, "ops", m, tr); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = [2]string{m, tr}
+	}
+	for j, label := range []string{"metrics", "trace"} {
+		a, err := os.ReadFile(paths[0][j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(paths[1][j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s snapshots differ between identical-seed runs", label)
+		}
+	}
+}
+
+// An export path forces the ops scenario even when -fig selects a
+// classic figure.
+func TestMetricsFlagForcesOps(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	if err := run(io.Discard, 7, "2", metrics, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Errorf("metrics file not written: %v", err)
 	}
 }

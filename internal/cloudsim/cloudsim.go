@@ -20,6 +20,7 @@ import (
 	"affinitycluster/internal/inventory"
 	"affinitycluster/internal/migration"
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
 	"affinitycluster/internal/topology"
@@ -51,6 +52,12 @@ type Config struct {
 	// long the resources will be occupied") instead of demanding
 	// immediate service. Usually combined with Batch.
 	BatchWindow float64
+	// Obs, when non-nil, receives per-decision telemetry: placement
+	// events with chosen center and DC, queue admit/reject/wait,
+	// migration moves with gain and traffic, plus counters, gauges, and
+	// wait/DC histograms. All timestamps are eventsim virtual time, so
+	// instrumented runs stay deterministic. Nil costs nothing.
+	Obs *obs.Registry
 }
 
 // Metrics aggregates one simulation run.
@@ -91,15 +98,37 @@ type Simulator struct {
 
 	arrivals map[model.RequestID]float64
 	running  map[int]affinity.Allocation // live clusters by registry ID
+	reqOf    map[int]model.RequestID     // registry ID → original request
 	nextRun  int
 	metrics  Metrics
 
 	drainPending bool // a BatchWindow drain is already scheduled
 
+	// failed aborts the event loop: a release failure means the simulator
+	// corrupted its own bookkeeping, so Run stops and surfaces the error
+	// instead of panicking mid-callback.
+	failed error
+
 	totalSlots int
 	usedSlots  int
 	lastSample float64
 	utilArea   float64
+
+	om simMetrics
+}
+
+// simMetrics are the resolved obs handles of one simulator; the zero
+// value (uninstrumented) no-ops everywhere.
+type simMetrics struct {
+	served          *obs.Counter
+	rejected        *obs.Counter
+	releaseFailures *obs.Counter
+	migrationMoves  *obs.Counter
+	migrationAborts *obs.Counter
+	running         *obs.Gauge
+	usedSlots       *obs.Gauge
+	waitSeconds     *obs.Histogram
+	placementDC     *obs.Histogram
 }
 
 // New builds a simulator over a topology, a live inventory, and a
@@ -118,10 +147,25 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 		cfg:      cfg,
 		engine:   eventsim.New(),
 		queue:    queue.New(cfg.Policy, cfg.QueueCap),
-		global:   &placement.GlobalSubOpt{},
-		mig:      &migration.Planner{Config: cfg.Migration},
+		global:   &placement.GlobalSubOpt{Obs: cfg.Obs},
+		mig:      &migration.Planner{Config: cfg.Migration, Obs: cfg.Obs},
 		arrivals: make(map[model.RequestID]float64),
 		running:  make(map[int]affinity.Allocation),
+		reqOf:    make(map[int]model.RequestID),
+	}
+	s.queue.Instrument(cfg.Obs)
+	if cfg.Obs != nil {
+		s.om = simMetrics{
+			served:          cfg.Obs.Counter("cloudsim.served"),
+			rejected:        cfg.Obs.Counter("cloudsim.rejected"),
+			releaseFailures: cfg.Obs.Counter("cloudsim.release_failures"),
+			migrationMoves:  cfg.Obs.Counter("cloudsim.migration_moves"),
+			migrationAborts: cfg.Obs.Counter("cloudsim.migration_aborted"),
+			running:         cfg.Obs.Gauge("cloudsim.running_clusters"),
+			usedSlots:       cfg.Obs.Gauge("cloudsim.used_slots"),
+			waitSeconds:     cfg.Obs.Histogram("cloudsim.wait_seconds", 0, 200, 20),
+			placementDC:     cfg.Obs.Histogram("cloudsim.placement_dc", 0, 200, 20),
+		}
 	}
 	caps := inv.CapacityMatrix()
 	for i := range caps {
@@ -134,7 +178,9 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 }
 
 // Run feeds the timed requests through the simulated cloud and returns
-// the aggregate metrics once all work has drained.
+// the aggregate metrics once all work has drained. A bookkeeping failure
+// (a departure whose release does not fit the inventory) aborts the run
+// and is returned as an error instead of panicking.
 func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
 	for _, r := range reqs {
 		r := r
@@ -142,7 +188,11 @@ func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
 			return nil, fmt.Errorf("cloudsim: scheduling arrival of request %d: %w", r.ID, err)
 		}
 	}
-	s.engine.Run()
+	for s.failed == nil && s.engine.Step() {
+	}
+	if s.failed != nil {
+		return nil, s.failed
+	}
 	s.sampleUtilization(s.engine.Now())
 	s.metrics.MakeSpan = s.engine.Now()
 	if s.metrics.MakeSpan > 0 {
@@ -164,15 +214,16 @@ func (s *Simulator) sampleUtilization(now float64) {
 func (s *Simulator) arrive(r model.TimedRequest, now float64) {
 	s.arrivals[r.ID] = now
 	if !s.inv.CanEverSatisfy(r.Vector) {
-		s.metrics.Rejected++
+		s.reject(r, now, "oversized")
 		return
 	}
 	if s.cfg.BatchWindow > 0 {
 		// Reservation-style admission: accumulate a batch, drain later.
 		if err := s.queue.Enqueue(r); err != nil {
-			s.metrics.Rejected++
+			s.reject(r, now, "queue_full")
 			return
 		}
+		s.cfg.Obs.Emit("queue_admit", now, obs.F("req", int(r.ID)))
 		if !s.drainPending {
 			s.drainPending = true
 			_, _ = s.engine.After(s.cfg.BatchWindow, func(at float64) {
@@ -188,8 +239,17 @@ func (s *Simulator) arrive(r model.TimedRequest, now float64) {
 		}
 	}
 	if err := s.queue.Enqueue(r); err != nil {
-		s.metrics.Rejected++
+		s.reject(r, now, "queue_full")
+		return
 	}
+	s.cfg.Obs.Emit("queue_admit", now, obs.F("req", int(r.ID)))
+}
+
+// reject records one turned-away arrival.
+func (s *Simulator) reject(r model.TimedRequest, now float64, reason string) {
+	s.metrics.Rejected++
+	s.om.rejected.Inc()
+	s.cfg.Obs.Emit("queue_reject", now, obs.F("req", int(r.ID)), obs.F("reason", reason))
 }
 
 // place provisions a single request right now; returns false if the
@@ -210,14 +270,27 @@ func (s *Simulator) place(r model.TimedRequest, now float64) bool {
 func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, now float64) {
 	s.sampleUtilization(now)
 	s.usedSlots += alloc.TotalVMs()
-	d, _ := alloc.Distance(s.topo)
+	d, center := alloc.Distance(s.topo)
+	wait := now - s.arrivals[r.ID]
 	s.metrics.Served++
 	s.metrics.Distances = append(s.metrics.Distances, d)
 	s.metrics.TotalDistance += d
-	s.metrics.Waits = append(s.metrics.Waits, now-s.arrivals[r.ID])
+	s.metrics.Waits = append(s.metrics.Waits, wait)
 	id := s.nextRun
 	s.nextRun++
 	s.running[id] = alloc
+	s.reqOf[id] = r.ID
+	s.om.served.Inc()
+	s.om.waitSeconds.Observe(wait)
+	s.om.placementDC.Observe(d)
+	s.om.running.Set(float64(len(s.running)))
+	s.om.usedSlots.Set(float64(s.usedSlots))
+	s.cfg.Obs.Emit("place", now,
+		obs.F("req", int(r.ID)),
+		obs.F("center", int(center)),
+		obs.F("dc", d),
+		obs.F("vms", alloc.TotalVMs()),
+		obs.F("wait", wait))
 	_, _ = s.engine.After(r.Hold, func(at float64) { s.depart(id, at) })
 }
 
@@ -228,21 +301,32 @@ func (s *Simulator) depart(id int, now float64) {
 	s.usedSlots -= alloc.TotalVMs()
 	d, _ := alloc.Distance(s.topo)
 	s.metrics.FinalDistanceSum += d
+	s.om.running.Set(float64(len(s.running)))
+	s.om.usedSlots.Set(float64(s.usedSlots))
+	s.cfg.Obs.Emit("depart", now, obs.F("req", int(s.reqOf[id])), obs.F("dc", d))
+	delete(s.reqOf, id)
 	if err := s.inv.Release([][]int(alloc)); err != nil {
 		// A release failure means the simulator corrupted its own
-		// bookkeeping; make it loud.
-		panic("cloudsim: release failed: " + err.Error())
+		// bookkeeping. Surface it through Run's error return (and the
+		// obs counter) instead of panicking the whole process; Run's
+		// event loop stops at the next step.
+		s.om.releaseFailures.Inc()
+		s.cfg.Obs.Emit("release_failure", now, obs.F("cluster", id), obs.F("error", err.Error()))
+		if s.failed == nil {
+			s.failed = fmt.Errorf("cloudsim: release of cluster %d at t=%v failed: %w", id, now, err)
+		}
+		return
 	}
 	s.drain(now)
 	if s.cfg.Migrate {
-		s.migrate()
+		s.migrate(now)
 	}
 }
 
 // migrate tightens the running clusters into freed capacity. Relocations
 // are reflected in the inventory with Move; swaps are capacity-neutral
 // and need no inventory change.
-func (s *Simulator) migrate() {
+func (s *Simulator) migrate(now float64) {
 	if len(s.running) == 0 {
 		return
 	}
@@ -268,6 +352,7 @@ func (s *Simulator) migrate() {
 		switch mv.Kind {
 		case migration.Relocate:
 			if err := s.inv.Move(mv.From, mv.To, mv.Type); err != nil {
+				s.om.migrationAborts.Inc()
 				return
 			}
 			c.Remove(mv.From, mv.Type)
@@ -282,6 +367,14 @@ func (s *Simulator) migrate() {
 		s.metrics.Migrations++
 		s.metrics.MigrationMB += mv.CostMB
 		s.metrics.MigrationGain += mv.Gain
+		s.om.migrationMoves.Inc()
+		s.cfg.Obs.Emit("migrate", now,
+			obs.F("move", mv.Kind.String()),
+			obs.F("from", int(mv.From)),
+			obs.F("to", int(mv.To)),
+			obs.F("type", int(mv.Type)),
+			obs.F("gain", mv.Gain),
+			obs.F("cost_mb", mv.CostMB))
 	}
 }
 

@@ -1,10 +1,12 @@
 package cloudsim
 
 import (
+	"bytes"
 	"testing"
 
 	"affinitycluster/internal/inventory"
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
 	"affinitycluster/internal/topology"
@@ -406,6 +408,104 @@ func TestSoakLongHorizon(t *testing.T) {
 	}
 	if m.UtilizationAvg <= 0 || m.UtilizationAvg > 1 {
 		t.Errorf("utilization %v out of range", m.UtilizationAvg)
+	}
+}
+
+// TestCorruptedReleaseReturnsError is the regression test for the old
+// panic in depart(): when a departure's release no longer matches the
+// inventory (bookkeeping corrupted out from under the simulator), Run
+// must return an error — not crash the process — and count the failure.
+func TestCorruptedReleaseReturnsError(t *testing.T) {
+	tp, inv := plant(t)
+	reg := obs.NewRegistry()
+	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the bookkeeping mid-run: at t=5 (after the cluster is
+	// placed, before its departure at t=11) release the running cluster's
+	// resources behind the simulator's back, so the departure's own
+	// release no longer fits.
+	if _, err := sim.engine.At(5, func(float64) {
+		for _, alloc := range sim.running {
+			if err := sim.inv.Release([][]int(alloc)); err != nil {
+				t.Errorf("test corruption release: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run([]model.TimedRequest{
+		timed(0, model.Request{2, 1}, 1, 10),
+	})
+	if err == nil {
+		t.Fatal("corrupted release did not surface an error")
+	}
+	if reg.Snapshot().Counters["cloudsim.release_failures"] != 1 {
+		t.Error("release failure not counted")
+	}
+}
+
+// TestInstrumentedRunRecordsAllFamilies drives an instrumented simulation
+// (queueing + migration) and checks the queue, cloudsim, placement, and
+// migration metric families plus the event trace all populate — and that
+// the same seed yields a byte-identical snapshot.
+func TestInstrumentedRunRecordsAllFamilies(t *testing.T) {
+	run := func() *obs.Registry {
+		tp, _ := plant(t)
+		caps := [][]int{
+			{4, 0}, {1, 0}, {0, 0},
+			{0, 0}, {1, 0}, {0, 0},
+		}
+		inv, err := inventory.NewFromMatrix(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		sim, err := New(tp, inv, &placement.OnlineHeuristic{Obs: reg}, Config{Migrate: true, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run([]model.TimedRequest{
+			timed(0, model.Request{1, 0}, 1, 10),
+			timed(1, model.Request{5, 0}, 2, 100),
+			timed(2, model.Request{6, 0}, 3, 5), // must queue behind 0+1
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	reg := run()
+	snap := reg.Snapshot()
+	for _, name := range []string{"cloudsim.served", "queue.enqueued", "placement.place_calls", "migration.plans"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %s missing; have %v", name, reg.MetricNames())
+		}
+	}
+	if snap.Counters["cloudsim.migration_moves"] == 0 {
+		t.Error("no migration moves recorded in the crafted scenario")
+	}
+	if snap.Histograms["cloudsim.wait_seconds"].N != 3 {
+		t.Errorf("wait histogram N = %d, want 3", snap.Histograms["cloudsim.wait_seconds"].N)
+	}
+	kinds := map[string]bool{}
+	for _, e := range reg.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"place", "depart", "queue_admit", "migrate"} {
+		if !kinds[k] {
+			t.Errorf("trace missing %q events; have %v", k, kinds)
+		}
+	}
+	var one, two bytes.Buffer
+	if err := reg.WriteMetricsJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := run().WriteMetricsJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("instrumented snapshots differ across identical runs")
 	}
 }
 

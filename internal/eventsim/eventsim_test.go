@@ -90,6 +90,81 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelAlreadyPoppedEvent(t *testing.T) {
+	e := New()
+	fired := 0
+	ev, _ := e.At(1, func(float64) { fired++ })
+	_, _ = e.At(2, func(float64) {})
+	if !e.Step() { // pops and fires ev
+		t.Fatal("Step returned false with events pending")
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The handle is stale now: cancelling it must be a no-op that does not
+	// disturb the remaining heap.
+	if e.Cancel(ev) {
+		t.Error("Cancel of already-popped event returned true")
+	}
+	if e.Cancel(ev) {
+		t.Error("double Cancel of popped event returned true")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d after stale cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 1 || e.Now() != 2 {
+		t.Errorf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestCancelSelfInsideCallback(t *testing.T) {
+	e := New()
+	var ev *Event
+	ok := true
+	ev, _ = e.At(1, func(float64) {
+		// By the time the callback runs, the event has been popped; a
+		// self-cancel must report false and not corrupt the heap.
+		ok = !e.Cancel(ev)
+	})
+	_, _ = e.At(2, func(float64) {})
+	e.Run()
+	if !ok {
+		t.Error("self-cancel inside callback returned true")
+	}
+	if e.Now() != 2 {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+func TestScheduleAtCurrentTimeFromCallback(t *testing.T) {
+	e := New()
+	var fired []string
+	_, _ = e.At(3, func(now float64) {
+		fired = append(fired, "outer")
+		// Scheduling at exactly the current timestamp is legal (t is not
+		// < now) and the new event fires within the same Run, after any
+		// previously queued same-time events (FIFO by sequence).
+		if _, err := e.At(now, func(float64) { fired = append(fired, "inner") }); err != nil {
+			t.Errorf("At(now) from callback: %v", err)
+		}
+	})
+	_, _ = e.At(3, func(float64) { fired = append(fired, "sibling") })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("final clock = %v", end)
+	}
+	want := []string{"outer", "sibling", "inner"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var fired []float64

@@ -467,16 +467,9 @@ func RunMRCluster(name string, alloc affinity.Allocation, cfg MRExperimentConfig
 	return runMRClusterJob(name, alloc, cfg, mapreduce.WordCount("input"))
 }
 
-// runMRClusterJob executes an arbitrary job on one cluster allocation.
-func runMRClusterJob(name string, alloc affinity.Allocation, cfg MRExperimentConfig, job mapreduce.JobSpec) (*Fig78Row, error) {
-	tp, err := mrPlant()
-	if err != nil {
-		return nil, err
-	}
-	cluster, err := vcluster.FromAllocation(tp, alloc)
-	if err != nil {
-		return nil, err
-	}
+// newMRSim assembles the simulator stack (engine, network, DFS with the
+// pre-loaded input, MapReduce scheduler) for one cluster.
+func newMRSim(tp *topology.Topology, cluster *vcluster.Cluster, cfg MRExperimentConfig) (*mapreduce.Simulator, error) {
 	engine := eventsim.New()
 	net, err := netmodel.NewFlowSim(engine, tp, cfg.Net)
 	if err != nil {
@@ -496,7 +489,20 @@ func runMRClusterJob(name string, alloc affinity.Allocation, cfg MRExperimentCon
 	} else if _, err := fsys.WriteRotating("input", cfg.InputMB); err != nil {
 		return nil, err
 	}
-	sim, err := mapreduce.New(engine, net, cluster, fsys, cfg.Sim)
+	return mapreduce.New(engine, net, cluster, fsys, cfg.Sim)
+}
+
+// runMRClusterJob executes an arbitrary job on one cluster allocation.
+func runMRClusterJob(name string, alloc affinity.Allocation, cfg MRExperimentConfig, job mapreduce.JobSpec) (*Fig78Row, error) {
+	tp, err := mrPlant()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := vcluster.FromAllocation(tp, alloc)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := newMRSim(tp, cluster, cfg)
 	if err != nil {
 		return nil, err
 	}

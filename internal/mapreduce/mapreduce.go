@@ -33,6 +33,7 @@ import (
 	"affinitycluster/internal/dfs"
 	"affinitycluster/internal/eventsim"
 	"affinitycluster/internal/netmodel"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/vcluster"
 )
 
@@ -223,6 +224,53 @@ type Simulator struct {
 	cluster *vcluster.Cluster
 	fs      *dfs.FS
 	cfg     SimConfig
+
+	obsReg  *obs.Registry // nil unless Instrument was called
+	metrics mrMetrics
+}
+
+// mrMetrics are the resolved obs handles; the zero value no-ops.
+type mrMetrics struct {
+	jobs            *obs.Counter
+	mapsTotal       *obs.Counter
+	mapsNodeLocal   *obs.Counter
+	mapsRackLocal   *obs.Counter
+	mapsRemote      *obs.Counter
+	shuffleFlows    *obs.Counter
+	shuffleRemote   *obs.Counter
+	stragglers      *obs.Counter
+	specLaunched    *obs.Counter
+	specWon         *obs.Counter
+	jobRuntime      *obs.Histogram
+	mapPhaseSeconds *obs.Histogram
+	shuffleMB       *obs.Histogram
+}
+
+// Instrument resolves the simulator's metric handles against a registry
+// and enables phase-boundary trace events (timestamps are the engine's
+// virtual time, so instrumented runs stay deterministic). A nil registry
+// leaves everything a no-op.
+func (s *Simulator) Instrument(r *obs.Registry) {
+	s.obsReg = r
+	if r == nil {
+		s.metrics = mrMetrics{}
+		return
+	}
+	s.metrics = mrMetrics{
+		jobs:            r.Counter("mapreduce.jobs"),
+		mapsTotal:       r.Counter("mapreduce.maps_total"),
+		mapsNodeLocal:   r.Counter("mapreduce.maps_node_local"),
+		mapsRackLocal:   r.Counter("mapreduce.maps_rack_local"),
+		mapsRemote:      r.Counter("mapreduce.maps_remote"),
+		shuffleFlows:    r.Counter("mapreduce.shuffle_transfers"),
+		shuffleRemote:   r.Counter("mapreduce.shuffle_remote"),
+		stragglers:      r.Counter("mapreduce.stragglers"),
+		specLaunched:    r.Counter("mapreduce.speculative_launched"),
+		specWon:         r.Counter("mapreduce.speculative_won"),
+		jobRuntime:      r.Histogram("mapreduce.job_runtime_seconds", 0, 3600, 36),
+		mapPhaseSeconds: r.Histogram("mapreduce.map_phase_seconds", 0, 3600, 36),
+		shuffleMB:       r.Histogram("mapreduce.shuffle_mb", 0, 16384, 16),
+	}
 }
 
 // New wires a simulator. The caller owns the engine so multiple
@@ -325,6 +373,8 @@ func (s *Simulator) Launch(job JobSpec) (*JobHandle, error) {
 	}
 	r.reducersDue = job.NumReduces
 	r.startedAt = s.engine.Now()
+	s.obsReg.Emit("mr_job_start", r.startedAt,
+		obs.F("job", job.Name), obs.F("maps", len(r.tasks)), obs.F("reduces", job.NumReduces))
 	r.placeReducers()
 	r.schedule()
 	r.heartbeat()
@@ -557,6 +607,8 @@ func (r *run) attemptFinished(at *mapAttempt, now float64) {
 	r.doneDuration += now - at.started
 	if r.mapsDone == len(r.tasks) {
 		r.counters.MapPhaseEnd = now
+		r.sim.obsReg.Emit("mr_map_phase_end", now,
+			obs.F("job", r.job.Name), obs.F("non_local_maps", r.counters.NonDataLocalMaps()))
 	}
 	// Offer the output to every reducer.
 	for _, red := range r.reducers {
@@ -681,4 +733,33 @@ func (r *run) finish(now float64) {
 	r.finished = true
 	r.finishedAt = now
 	r.counters.Runtime = now - r.startedAt
+	r.flushObs(now)
+}
+
+// flushObs records the finished job's counters into the simulator's obs
+// registry (no-op when uninstrumented). Phase timings are virtual-time
+// durations, never wall-clock.
+func (r *run) flushObs(now float64) {
+	m := &r.sim.metrics
+	c := &r.counters
+	m.jobs.Inc()
+	m.mapsTotal.Add(int64(c.MapsTotal))
+	m.mapsNodeLocal.Add(int64(c.MapsNodeLocal))
+	m.mapsRackLocal.Add(int64(c.MapsRackLocal))
+	m.mapsRemote.Add(int64(c.MapsRemote))
+	m.shuffleFlows.Add(int64(c.ShuffleTransfers))
+	m.shuffleRemote.Add(int64(c.ShuffleRemote))
+	m.stragglers.Add(int64(c.Stragglers))
+	m.specLaunched.Add(int64(c.SpeculativeLaunched))
+	m.specWon.Add(int64(c.SpeculativeWon))
+	m.jobRuntime.Observe(c.Runtime)
+	m.mapPhaseSeconds.Observe(c.MapPhaseEnd - r.startedAt)
+	m.shuffleMB.Observe(c.ShuffleMB)
+	r.sim.obsReg.Emit("mr_job_done", now,
+		obs.F("job", r.job.Name),
+		obs.F("runtime", c.Runtime),
+		obs.F("map_phase_end", c.MapPhaseEnd),
+		obs.F("shuffle_end", c.ShuffleEnd),
+		obs.F("shuffle_mb", c.ShuffleMB),
+		obs.F("remote_shuffle_mb", c.ShuffleRemoteMB))
 }

@@ -17,9 +17,11 @@ package migration
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/topology"
 )
 
@@ -81,6 +83,35 @@ type Config struct {
 // Planner computes migration plans. The zero value is usable.
 type Planner struct {
 	Config Config
+	// Obs, when non-nil, receives planner metrics (plan counts, planned
+	// moves, gain and traffic histograms). Nil stays a strict no-op.
+	Obs *obs.Registry
+
+	obsOnce sync.Once
+	metrics plannerMetrics
+}
+
+// plannerMetrics are the resolved obs handles; the zero value no-ops.
+type plannerMetrics struct {
+	plans  *obs.Counter
+	moves  *obs.Counter
+	gain   *obs.Histogram
+	costMB *obs.Histogram
+}
+
+func (p *Planner) obsHandles() *plannerMetrics {
+	p.obsOnce.Do(func() {
+		if p.Obs == nil {
+			return
+		}
+		p.metrics = plannerMetrics{
+			plans:  p.Obs.Counter("migration.plans"),
+			moves:  p.Obs.Counter("migration.planned_moves"),
+			gain:   p.Obs.Histogram("migration.plan_gain", 0, 100, 20),
+			costMB: p.Obs.Histogram("migration.plan_cost_mb", 0, 65536, 16),
+		}
+	})
+	return &p.metrics
 }
 
 // memoryMB returns the migration traffic of one VM of the given type.
@@ -140,6 +171,13 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 		plan.Moves = append(plan.Moves, mv)
 		plan.TotalGain += mv.Gain
 		plan.TotalCost += mv.CostMB
+	}
+	om := p.obsHandles()
+	om.plans.Inc()
+	om.moves.Add(int64(len(plan.Moves)))
+	if len(plan.Moves) > 0 {
+		om.gain.Observe(plan.TotalGain)
+		om.costMB.Observe(plan.TotalCost)
 	}
 	return plan, nil
 }

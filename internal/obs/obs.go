@@ -1,0 +1,285 @@
+// Package obs is the observability layer of the simulation stack: a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// fixed-bucket histograms) plus a structured event trace for per-decision
+// telemetry (placement decisions, queue admission, migration moves,
+// MapReduce phase boundaries).
+//
+// Design rules:
+//
+//   - Nil safety. Every handle method no-ops on a nil receiver and every
+//     Registry method is safe on a nil *Registry, so uninstrumented
+//     callers pay nothing: components resolve their handles once at
+//     construction time and the hot path is a nil check plus an atomic
+//     add.
+//   - Determinism. Recorded values never come from the wall clock —
+//     event timestamps are eventsim virtual time supplied by the caller —
+//     and both export formats (the JSON metrics snapshot and the JSONL
+//     trace) serialize with sorted metric names and ordered event fields,
+//     so two runs with the same seed produce byte-identical output.
+//   - Concurrency. Counters and gauges are atomics and histograms take a
+//     short mutex, so instrumented components stay safe under the
+//     experiment worker pool. Event append order across goroutines is,
+//     however, scheduler-dependent; deterministic traces require a
+//     single-threaded simulation (which is how the instrumented runners
+//     drive it).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a floating-point level that can move both ways.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x. No-op on a nil receiver.
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(x))
+}
+
+// Add shifts the gauge by dx. No-op on a nil receiver.
+func (g *Gauge) Add(dx float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + dx)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed equal-width buckets over
+// [Min, Max], tracking out-of-range samples and the running sum/count so
+// a mean survives even when samples escape the range.
+type Histogram struct {
+	mu     sync.Mutex
+	min    float64
+	max    float64
+	counts []int64
+	under  int64
+	over   int64
+	sum    float64
+	n      int64
+}
+
+// Observe adds one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += x
+	h.n++
+	switch {
+	case x < h.min:
+		h.under++
+	case x > h.max:
+		h.over++
+	default:
+		i := int((x - h.min) / (h.max - h.min) * float64(len(h.counts)))
+		if i == len(h.counts) { // x == max lands in the last bucket
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under"`
+	Over   int64   `json:"over"`
+	Sum    float64 `json:"sum"`
+	N      int64   `json:"n"`
+}
+
+// Mean returns the average of all observed samples (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Min:    h.min,
+		Max:    h.max,
+		Counts: append([]int64(nil), h.counts...),
+		Under:  h.under,
+		Over:   h.over,
+		Sum:    h.sum,
+		N:      h.n,
+	}
+}
+
+// Registry is a named collection of metrics plus the event trace. The
+// zero value is not usable; call NewRegistry. A nil *Registry is a valid
+// no-op sink: every lookup returns a nil handle and Emit does nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	events   []Event
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use; later calls reuse the existing bounds. Returns nil
+// (a valid no-op handle) on a nil registry or invalid bounds.
+func (r *Registry) Histogram(name string, min, max float64, buckets int) *Histogram {
+	if r == nil || buckets <= 0 || !(max > min) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{min: min, max: max, counts: make([]int64, buckets)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, shaped for
+// JSON export. Map keys serialize sorted (encoding/json), so the snapshot
+// of a deterministic run is byte-identical across runs.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current metric values. Returns an empty snapshot on
+// a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// MetricNames returns every registered metric name, sorted.
+func (r *Registry) MetricNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,122 @@
+// Structured event trace: one Event per simulation decision, with a
+// virtual timestamp and ordered key/value fields. Events marshal to JSONL
+// through a hand-rolled encoder so field order and float formatting are
+// deterministic (encoding/json would also work for the metric snapshot's
+// sorted maps, but an event's fields are ordered by the emitter, and that
+// order is part of the trace contract).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Field is one key/value pair of an event, in emission order.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field; the one-letter name keeps emission sites compact.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Event is one recorded simulation decision. Time is eventsim virtual
+// time — never the wall clock — so traces are reproducible.
+type Event struct {
+	Time   float64
+	Kind   string
+	Fields []Field
+}
+
+// Emit appends an event to the trace. No-op on a nil registry. The fields
+// slice is retained; callers must not reuse it.
+func (r *Registry) Emit(kind string, t float64, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Time: t, Kind: kind, Fields: fields})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded trace (nil on a nil registry).
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// EventCount returns the number of recorded events.
+func (r *Registry) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// appendJSON renders one event as a single JSON object:
+// {"t":12.5,"kind":"place","req":3,"dc":14}.
+func (e Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"t":`...)
+	b = appendFloat(b, e.Time)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, e.Kind)
+	for _, f := range e.Fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		b = appendValue(b, f.Val)
+	}
+	return append(b, '}')
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case float64:
+		return appendFloat(b, x)
+	case float32:
+		return appendFloat(b, float64(x))
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case string:
+		return strconv.AppendQuote(b, x)
+	case fmt.Stringer:
+		return strconv.AppendQuote(b, x.String())
+	default:
+		return strconv.AppendQuote(b, fmt.Sprintf("%v", x))
+	}
+}
+
+// WriteTraceJSONL streams the trace as one JSON object per line.
+func (r *Registry) WriteTraceJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range r.Events() {
+		buf = e.appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

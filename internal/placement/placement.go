@@ -16,6 +16,7 @@ import (
 
 	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/topology"
 )
 
@@ -78,8 +79,38 @@ type OnlineHeuristic struct {
 	// derives its own generator from a single mutex-guarded draw, so one
 	// placer is safe for concurrent Place calls.
 	Rand *rand.Rand
+	// Obs, when non-nil, receives placement metrics (call counts, fast-path
+	// hits, DC of returned allocations). Handles are resolved once on first
+	// Place; a nil Obs leaves the hot path with nil-receiver no-ops.
+	Obs *obs.Registry
 
-	randMu sync.Mutex // guards Rand
+	randMu  sync.Mutex // guards Rand
+	obsOnce sync.Once
+	metrics placerMetrics
+}
+
+// placerMetrics are the resolved obs handles of a placer. The zero value
+// (all nil) is fully usable: every method is a nil-receiver no-op.
+type placerMetrics struct {
+	calls      *obs.Counter
+	infeasible *obs.Counter
+	fastPath   *obs.Counter
+	dc         *obs.Histogram
+}
+
+func (h *OnlineHeuristic) obsHandles() *placerMetrics {
+	h.obsOnce.Do(func() {
+		if h.Obs == nil {
+			return
+		}
+		h.metrics = placerMetrics{
+			calls:      h.Obs.Counter("placement.place_calls"),
+			infeasible: h.Obs.Counter("placement.infeasible"),
+			fastPath:   h.Obs.Counter("placement.fastpath_hits"),
+			dc:         h.Obs.Histogram("placement.dc", 0, 200, 20),
+		}
+	})
+	return &h.metrics
 }
 
 // placeRand derives an independent per-call generator from the shared
@@ -107,10 +138,13 @@ func (h *OnlineHeuristic) Name() string {
 func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error) {
 	n := t.Nodes()
 	m := len(r)
+	om := h.obsHandles()
+	om.calls.Inc()
 	if len(l) != n {
 		return nil, fmt.Errorf("placement: capacity matrix has %d rows, topology has %d nodes", len(l), n)
 	}
 	if err := admit(l, r); err != nil {
+		om.infeasible.Inc()
 		return nil, err
 	}
 
@@ -119,6 +153,8 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 		if model.Covers(l[i], r) {
 			alloc := affinity.NewAllocation(n, m)
 			copy(alloc[i], r)
+			om.fastPath.Inc()
+			om.dc.Observe(0)
 			return alloc, nil
 		}
 	}
@@ -157,6 +193,7 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 		// reach every node, so construction cannot fail.
 		return nil, fmt.Errorf("placement: internal error — no allocation built for feasible request %v", r)
 	}
+	om.dc.Observe(bestDist)
 	return best, nil
 }
 
@@ -350,6 +387,36 @@ type GlobalSubOpt struct {
 	// a safety limit). The paper performs a single pass; run-to-fixpoint
 	// is the ablation variant.
 	MaxPasses int
+	// Obs, when non-nil, receives batch metrics (and is handed to the
+	// implicit OnlineHeuristic when Online is nil).
+	Obs *obs.Registry
+
+	obsOnce sync.Once
+	metrics batchMetrics
+}
+
+// batchMetrics are the resolved obs handles of the batch placer; the zero
+// value is a usable no-op.
+type batchMetrics struct {
+	batches *obs.Counter
+	failed  *obs.Counter
+	swaps   *obs.Counter
+	passes  *obs.Counter
+}
+
+func (g *GlobalSubOpt) obsHandles() *batchMetrics {
+	g.obsOnce.Do(func() {
+		if g.Obs == nil {
+			return
+		}
+		g.metrics = batchMetrics{
+			batches: g.Obs.Counter("placement.batches"),
+			failed:  g.Obs.Counter("placement.batch_failed"),
+			swaps:   g.Obs.Counter("placement.batch_swaps"),
+			passes:  g.Obs.Counter("placement.batch_passes"),
+		}
+	})
+	return &g.metrics
 }
 
 // Name identifies the strategy.
@@ -361,7 +428,7 @@ func (g *GlobalSubOpt) Name() string { return "global-subopt" }
 func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.Request) (*BatchResult, error) {
 	online := g.Online
 	if online == nil {
-		online = &OnlineHeuristic{}
+		online = &OnlineHeuristic{Obs: g.Obs}
 	}
 	n := t.Nodes()
 	if len(l) != n {
@@ -431,6 +498,11 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 			res.Total += d
 		}
 	}
+	om := g.obsHandles()
+	om.batches.Inc()
+	om.failed.Add(int64(res.Failed))
+	om.swaps.Add(int64(res.Swaps))
+	om.passes.Add(int64(res.Passes))
 	return res, nil
 }
 

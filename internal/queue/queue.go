@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 )
 
 // Policy orders the wait queue.
@@ -51,11 +52,31 @@ type Queue struct {
 	items    []model.TimedRequest
 	seq      int // admission sequence for stable FIFO within priorities
 	seqs     map[model.RequestID]int
+
+	// obs handles; nil (no-op) unless Instrument was called.
+	mEnqueued  *obs.Counter
+	mRejected  *obs.Counter
+	mCancelled *obs.Counter
+	mAdmitted  *obs.Counter
+	mDepth     *obs.Gauge
 }
 
 // New creates a queue with the given policy. capacity 0 means unbounded.
 func New(policy Policy, capacity int) *Queue {
 	return &Queue{policy: policy, capacity: capacity, seqs: make(map[model.RequestID]int)}
+}
+
+// Instrument resolves the queue's metric handles against a registry. A
+// nil registry (or never calling Instrument) leaves the queue completely
+// uninstrumented: every metric call is a nil-receiver no-op.
+func (q *Queue) Instrument(r *obs.Registry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.mEnqueued = r.Counter("queue.enqueued")
+	q.mRejected = r.Counter("queue.rejected")
+	q.mCancelled = r.Counter("queue.cancelled")
+	q.mAdmitted = r.Counter("queue.admitted")
+	q.mDepth = r.Gauge("queue.depth")
 }
 
 // Len returns the number of waiting requests.
@@ -70,15 +91,31 @@ func (q *Queue) Enqueue(r model.TimedRequest) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.capacity > 0 && len(q.items) >= q.capacity {
+		q.mRejected.Inc()
 		return ErrFull
 	}
 	if _, dup := q.seqs[r.ID]; dup {
+		q.mRejected.Inc()
 		return fmt.Errorf("queue: duplicate request ID %d", r.ID)
 	}
 	q.items = append(q.items, r)
 	q.seqs[r.ID] = q.seq
 	q.seq++
+	q.mEnqueued.Inc()
+	q.mDepth.Set(float64(len(q.items)))
 	return nil
+}
+
+// removeAt deletes items[i], dropping its seqs entry and zeroing the
+// vacated tail slot so the backing array does not pin the removed
+// request's vectors alive. Callers hold q.mu.
+func (q *Queue) removeAt(i int) {
+	delete(q.seqs, q.items[i].ID)
+	last := len(q.items) - 1
+	copy(q.items[i:], q.items[i+1:])
+	q.items[last] = model.TimedRequest{}
+	q.items = q.items[:last]
+	q.mDepth.Set(float64(len(q.items)))
 }
 
 // Cancel removes a waiting request — the paper's "users can also cancel
@@ -88,12 +125,31 @@ func (q *Queue) Cancel(id model.RequestID) error {
 	defer q.mu.Unlock()
 	for i, it := range q.items {
 		if it.ID == id {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			delete(q.seqs, id)
+			q.removeAt(i)
+			q.mCancelled.Inc()
 			return nil
 		}
 	}
 	return ErrNotFound
+}
+
+// Dequeue pops the first request in policy order, or reports false on an
+// empty queue.
+func (q *Queue) Dequeue() (model.TimedRequest, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return model.TimedRequest{}, false
+	}
+	head := q.ordered()[0]
+	for i, it := range q.items {
+		if it.ID == head.ID {
+			q.removeAt(i)
+			break
+		}
+	}
+	q.mAdmitted.Inc()
+	return head, true
 }
 
 // Peek returns the waiting requests in policy order without removing them.
@@ -145,18 +201,33 @@ func (q *Queue) GetRequests(avail []int) []model.TimedRequest {
 			takenIDs[r.ID] = true
 		}
 	}
-	if len(taken) > 0 {
-		kept := q.items[:0]
-		for _, it := range q.items {
-			if !takenIDs[it.ID] {
-				kept = append(kept, it)
-			} else {
-				delete(q.seqs, it.ID)
-			}
-		}
-		q.items = kept
-	}
+	q.removeTaken(takenIDs)
 	return taken
+}
+
+// removeTaken compacts the queue, dropping every taken request's item and
+// seqs entry and zeroing the vacated tail of the backing array (stale
+// slots would otherwise pin request vectors alive across long arrival
+// streams). Callers hold q.mu.
+func (q *Queue) removeTaken(takenIDs map[model.RequestID]bool) {
+	if len(takenIDs) == 0 {
+		return
+	}
+	n := len(q.items)
+	kept := q.items[:0]
+	for _, it := range q.items {
+		if !takenIDs[it.ID] {
+			kept = append(kept, it)
+		} else {
+			delete(q.seqs, it.ID)
+		}
+	}
+	for i := len(kept); i < n; i++ {
+		q.items[i] = model.TimedRequest{}
+	}
+	q.items = kept
+	q.mAdmitted.Add(int64(len(takenIDs)))
+	q.mDepth.Set(float64(len(q.items)))
 }
 
 // GetRequestsStrict is the head-blocking variant: it stops at the first
@@ -177,16 +248,6 @@ func (q *Queue) GetRequestsStrict(avail []int) []model.TimedRequest {
 		taken = append(taken, r)
 		takenIDs[r.ID] = true
 	}
-	if len(taken) > 0 {
-		kept := q.items[:0]
-		for _, it := range q.items {
-			if !takenIDs[it.ID] {
-				kept = append(kept, it)
-			} else {
-				delete(q.seqs, it.ID)
-			}
-		}
-		q.items = kept
-	}
+	q.removeTaken(takenIDs)
 	return taken
 }

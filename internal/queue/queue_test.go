@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 )
 
 func req(id int, vec model.Request, prio int) model.TimedRequest {
@@ -149,6 +150,123 @@ func TestGetRequestsPriorityOrdering(t *testing.T) {
 func TestPolicyString(t *testing.T) {
 	if FIFO.String() != "fifo" || PriorityPolicy.String() != "priority" || Policy(9).String() != "Policy(9)" {
 		t.Error("Policy strings wrong")
+	}
+}
+
+func TestDequeuePolicyOrder(t *testing.T) {
+	q := New(PriorityPolicy, 0)
+	_ = q.Enqueue(req(0, model.Request{1}, 1))
+	_ = q.Enqueue(req(1, model.Request{1}, 5))
+	_ = q.Enqueue(req(2, model.Request{1}, 5))
+	wantIDs := []model.RequestID{1, 2, 0}
+	for _, w := range wantIDs {
+		got, ok := q.Dequeue()
+		if !ok || got.ID != w {
+			t.Fatalf("Dequeue = (%v, %v), want ID %d", got.ID, ok, w)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty queue reported ok")
+	}
+	// Dequeued IDs can be reused — their bookkeeping is gone.
+	if err := q.Enqueue(req(1, model.Request{1}, 0)); err != nil {
+		t.Errorf("re-enqueue after dequeue: %v", err)
+	}
+}
+
+// seqsLen exposes the size of the internal sequence map to the leak test.
+func (q *Queue) seqsLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.seqs)
+}
+
+// TestSeqsMapShrinksWithQueue churns requests through every exit path —
+// Dequeue, Cancel, GetRequests, GetRequestsStrict — and asserts the
+// internal seqs map always matches the queue length, so long arrival
+// streams cannot leak bookkeeping entries.
+func TestSeqsMapShrinksWithQueue(t *testing.T) {
+	q := New(FIFO, 0)
+	check := func(when string) {
+		t.Helper()
+		if got, want := q.seqsLen(), q.Len(); got != want {
+			t.Fatalf("%s: seqs has %d entries, queue has %d items", when, got, want)
+		}
+	}
+	id := 0
+	for round := 0; round < 50; round++ {
+		for k := 0; k < 4; k++ {
+			if err := q.Enqueue(req(id, model.Request{1}, 0)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		check("after enqueue")
+		switch round % 4 {
+		case 0:
+			if _, ok := q.Dequeue(); !ok {
+				t.Fatal("dequeue failed")
+			}
+		case 1:
+			if err := q.Cancel(model.RequestID(id - 1)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if taken := q.GetRequests([]int{2}); len(taken) != 2 {
+				t.Fatalf("GetRequests took %d", len(taken))
+			}
+		case 3:
+			if taken := q.GetRequestsStrict([]int{3}); len(taken) != 3 {
+				t.Fatalf("GetRequestsStrict took %d", len(taken))
+			}
+		}
+		check("after removal")
+	}
+	// Drain completely: every map entry must be gone.
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	if q.Len() != 0 || q.seqsLen() != 0 {
+		t.Fatalf("drained queue still holds %d items / %d seqs", q.Len(), q.seqsLen())
+	}
+	// The vacated backing array must not pin request vectors alive.
+	for i := 0; i < cap(q.items); i++ {
+		it := q.items[:cap(q.items)][i]
+		if it.Vector != nil {
+			t.Fatalf("stale request %d left in backing array", it.ID)
+		}
+	}
+}
+
+func TestQueueInstrumented(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := New(FIFO, 1)
+	q.Instrument(reg)
+	_ = q.Enqueue(req(0, model.Request{1}, 0))
+	_ = q.Enqueue(req(1, model.Request{1}, 0)) // full → rejected
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	_ = q.Enqueue(req(2, model.Request{1}, 0))
+	_ = q.Cancel(2)
+	_ = q.Enqueue(req(3, model.Request{1}, 0))
+	q.GetRequests([]int{1})
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"queue.enqueued":  3,
+		"queue.rejected":  1,
+		"queue.cancelled": 1,
+		"queue.admitted":  2, // one Dequeue + one GetRequests
+	}
+	for name, w := range want {
+		if got := snap.Counters[name]; got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+	if got := snap.Gauges["queue.depth"]; got != 0 {
+		t.Errorf("queue.depth = %v, want 0", got)
 	}
 }
 

@@ -50,11 +50,13 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0–100) of an ascending-sorted
-// sample using nearest-rank with linear interpolation. It panics on an
-// empty sample.
+// sample using nearest-rank with linear interpolation. An empty sample
+// has no percentiles: it returns NaN, mirroring Summarize's zero-value
+// behaviour — empty samples are legitimate (e.g. a simulation that
+// served zero requests) and must not crash the caller.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: Percentile of empty sample")
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

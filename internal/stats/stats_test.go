@@ -35,12 +35,30 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(xs, 50); got != 25 {
 		t.Errorf("p50 = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Percentile of empty sample did not panic")
+}
+
+// TestEmptySamples is the regression test for the empty-sample panic:
+// cloudsim.Metrics.Waits legitimately has zero entries when nothing is
+// served, and the stats layer must degrade, not crash.
+func TestEmptySamples(t *testing.T) {
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile(nil, p); !math.IsNaN(got) {
+			t.Errorf("Percentile(nil, %v) = %v, want NaN", p, got)
 		}
-	}()
-	Percentile(nil, 50)
+		if got := Percentile([]float64{}, p); !math.IsNaN(got) {
+			t.Errorf("Percentile([], %v) = %v, want NaN", p, got)
+		}
+	}
+	z := Summarize(nil)
+	if z != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero value", z)
+	}
+	if z = Summarize([]float64{}); z != (Summary{}) {
+		t.Errorf("Summarize([]) = %+v, want zero value", z)
+	}
+	if Mean(nil) != 0 || Sum(nil) != 0 {
+		t.Error("Mean/Sum of empty sample not 0")
+	}
 }
 
 // Property: percentile is monotone in p and bounded by min/max.
