@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot verify clean
+.PHONY: all build test race vet bench bench-hot bench-json verify clean
 
 all: build
 
@@ -24,6 +24,13 @@ bench:
 # criteria (incremental vs scratch DC evaluation, Algorithm 1/2 cost).
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkDistance(Scratch|Incremental)$$|BenchmarkOnlinePlace$$|BenchmarkAblationTransferFixpoint' .
+
+# Scale benchmarks (1×3×10 → 10×40×40 plants, pruned vs exhaustive center
+# scan) recorded as machine-readable JSON. One iteration per benchmark —
+# the pruned/exhaustive gap is ~40× at the top size, far above timer noise.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlaceScale' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_placement.json
+	@cat BENCH_placement.json
 
 # The pre-merge gate: build, vet, full tests, and the race detector.
 verify: build vet test race

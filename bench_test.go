@@ -497,6 +497,59 @@ func BenchmarkAblationSpeculation(b *testing.B) {
 // Micro-benchmarks of the hot paths
 // ---------------------------------------------------------------------------
 
+// BenchmarkPlaceScale measures one Algorithm 1 placement on plants from
+// the paper's 1×3×10 up to a 10×40×40 (16 000-node) datacenter, comparing
+// the rack-probe center scan (pruned, the default) against the
+// exhaustive-center reference path. Both arms return bit-identical
+// allocations; only the scan cost differs — O(racks) builds versus O(n).
+// The request is sized to spill past a single rack so the remote phase and
+// the center scan are both exercised rather than the single-node fast path.
+func BenchmarkPlaceScale(b *testing.B) {
+	for _, tc := range []struct {
+		name                        string
+		clouds, racks, nodesPerRack int
+	}{
+		{"1x3x10", 1, 3, 10},
+		{"2x20x20", 2, 20, 20},
+		{"10x40x40", 10, 40, 40},
+	} {
+		if tc.clouds*tc.racks*tc.nodesPerRack >= 10000 && testing.Short() {
+			continue // the 16 000-node plant is too heavy for -short runs
+		}
+		topo, err := topology.Uniform(tc.clouds, tc.racks, tc.nodesPerRack, topology.DefaultDistances())
+		if err != nil {
+			b.Fatal(err)
+		}
+		const types = 3
+		caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), types, workload.DefaultInventoryConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := make(model.Request, types)
+		for j := range req {
+			req[j] = tc.nodesPerRack // ≈ 1.5 racks' worth across the types
+		}
+		for _, arm := range []struct {
+			name   string
+			policy placement.CenterPolicy
+		}{
+			{"pruned", placement.ScanAllCenters},
+			{"exhaustive", placement.ExhaustiveCenters},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, arm.name), func(b *testing.B) {
+				h := &placement.OnlineHeuristic{Policy: arm.policy}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := h.Place(topo, caps, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkOnlinePlace measures a single Algorithm 1 placement on the
 // paper plant.
 func BenchmarkOnlinePlace(b *testing.B) {

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark runs can be checked in and
+// diffed (BENCH_placement.json) or archived as CI artifacts without
+// scraping free-form text downstream.
+//
+//	go test -run '^$' -bench BenchmarkPlaceScale -benchmem -benchtime=1x . | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Metrics holds every "value unit" pair the
+// line reported: ns/op and B/op and allocs/op when -benchmem is on, plus
+// any custom b.ReportMetric units.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run: the environment header lines go test prints
+// followed by the benchmark results in input order.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// parse consumes go test -bench output. Unrecognized lines (PASS, ok,
+// test logs) are skipped; malformed Benchmark lines are an error so a
+// truncated run cannot silently produce an empty report.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine splits "BenchmarkX-8  10  123 ns/op  45 B/op" into a Result.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("benchjson: short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Strip the trailing -GOMAXPROCS suffix so names compare across machines.
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name = res.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchjson: bad metric value in %q: %v", line, err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

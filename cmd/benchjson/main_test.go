@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: affinitycluster
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPlaceScale/1x3x10/pruned-8         	      10	      9267 ns/op	    1916 B/op	       5 allocs/op
+BenchmarkPlaceScale/1x3x10/exhaustive       	      10	     27382 ns/op
+BenchmarkFig5-8                             	       3	   1234567 ns/op	      12.50 improvement-%
+PASS
+ok  	affinitycluster	0.031s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "affinitycluster" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("bad cpu: %q", rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	first := rep.Results[0]
+	if first.Name != "BenchmarkPlaceScale/1x3x10/pruned" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Iterations != 10 || first.Metrics["ns/op"] != 9267 ||
+		first.Metrics["B/op"] != 1916 || first.Metrics["allocs/op"] != 5 {
+		t.Fatalf("bad metrics: %+v", first)
+	}
+	// No -benchmem columns is fine.
+	if got := rep.Results[1].Metrics; len(got) != 1 || got["ns/op"] != 27382 {
+		t.Fatalf("bad benchmem-less metrics: %v", got)
+	}
+	// Custom ReportMetric units come through.
+	if got := rep.Results[2].Metrics["improvement-%"]; got != 12.50 {
+		t.Fatalf("custom metric = %v", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken notanumber\n")); err == nil {
+		t.Fatal("want error for malformed iteration count")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBroken 10 oops ns/op\n")); err == nil {
+		t.Fatal("want error for malformed metric value")
+	}
+}

@@ -1,18 +1,29 @@
 // Incremental evaluation of the paper's Definition 1. Every optimizer in
 // this repo proposes single-VM moves and needs DC(C) after each candidate;
 // recomputing it from the allocation matrix costs O(hosts²·m) per call.
-// DistanceEvaluator instead caches the per-candidate-center weighted sums
 //
-//	S_k = Σ_i w_i · D_ik   (w_i = Σ_j C_ij, k over hosting nodes)
+// The tiered distance model (Definition 1: SameNode < SameRack < CrossRack
+// < CrossCloud) makes DC(C) a function of per-rack and per-cloud VM
+// aggregates only. For a candidate center k with w_k VMs, rack total
+// R = Σ_{i∈rack(k)} w_i, cloud total B = Σ_{i∈cloud(k)} w_i and cluster
+// total T:
 //
-// and maintains them under Add/Remove/Move in O(hosts) time, so DC(C) is a
-// single scan over the cached sums and a candidate move can be priced
-// exactly — value and central node — without mutating anything.
+//	S_k = w_k·d0 + (R−w_k)·d1 + (B−R)·d2 + (T−B)·d3
+//
+// so DistanceEvaluator maintains rack/cloud totals under Add/Remove/Move in
+// O(1) and answers DistanceFrom in O(1). Minimizing S_k over a rack means
+// maximizing w_k (d0 < d1), so DC(C) is found by ranking racks on the
+// aggregate lower bound R·d0 + (B−R)·d2 + (T−B)·d3 (all rack VMs
+// concentrated on the center) and scanning hosting nodes only inside racks
+// whose bound can still beat the incumbent — O(racks) plus the pruned rack
+// scans, instead of the O(hosts) per-center cached sums this file used to
+// keep.
 //
 // Exactness: with integer-valued distance tiers (the paper's 0/1/2/4) and
-// integer VM counts, every S_k is an exactly representable float64, so the
-// incremental values are bit-for-bit identical to Allocation.Distance no
-// matter how many updates have been applied.
+// integer VM counts, every aggregate product is an exactly representable
+// float64, so the tier-aggregated values are bit-for-bit identical to the
+// from-scratch Allocation.Distance scan no matter how many updates have
+// been applied, including the lowest-node-ID tie-break.
 package affinity
 
 import (
@@ -24,26 +35,54 @@ import (
 	"affinitycluster/internal/topology"
 )
 
-// DistanceEvaluator tracks one cluster's per-node VM totals and the cached
-// center sums S_k. It mirrors an Allocation the caller mutates in lockstep
-// (or stands alone when only node totals matter). Not safe for concurrent
-// mutation; independent evaluators may be used from different goroutines.
+// DistanceEvaluator tracks one cluster's per-node VM totals together with
+// the per-rack/per-cloud aggregates of the tiered distance model. It
+// mirrors an Allocation the caller mutates in lockstep (or stands alone
+// when only node totals matter). Not safe for concurrent mutation;
+// independent evaluators may be used from different goroutines.
 type DistanceEvaluator struct {
 	t     *topology.Topology
-	w     []int              // VMs per node
-	s     []float64          // S_k, valid only where w[k] > 0
-	hosts []topology.NodeID  // ascending IDs of nodes with w > 0
-	total int                // Σ w
+	w     []int             // VMs per node
+	hosts []topology.NodeID // ascending IDs of nodes with w > 0
+	total int               // Σ w
+
+	rackW     []int               // VMs per rack
+	cloudW    []int               // VMs per cloud
+	rackHosts [][]topology.NodeID // hosting nodes per rack, ascending
+	active    []int               // racks with rackW > 0, unordered
+	rackPos   []int               // index of rack in active, -1 when inactive
+
+	// Sums of squared totals at each aggregation level, kept incrementally
+	// for the O(1) pairwise-affinity closed form.
+	ssNode  int // Σ_i w_i²
+	ssRack  int // Σ_r rackW_r²
+	ssCloud int // Σ_c cloudW_c²
+
+	// Scan scratch, reused across Distance/MovePreview calls.
+	scanRacks []int
+	scanLB    []float64
+	scanRW    []int
+	scanCW    []int
 }
 
 // NewDistanceEvaluator builds an evaluator for allocation a (which may be
-// nil for an initially empty cluster) on topology t. Cost: O(hosts·n) to
-// seed the cached sums.
+// nil for an initially empty cluster) on topology t. Cost: O(n·m) to read
+// the matrix; the aggregates follow in O(hosts).
 func NewDistanceEvaluator(t *topology.Topology, a Allocation) *DistanceEvaluator {
 	e := &DistanceEvaluator{
-		t: t,
-		w: make([]int, t.Nodes()),
-		s: make([]float64, t.Nodes()),
+		t:         t,
+		w:         make([]int, t.Nodes()),
+		rackW:     make([]int, t.Racks()),
+		cloudW:    make([]int, t.Clouds()),
+		rackHosts: make([][]topology.NodeID, t.Racks()),
+		rackPos:   make([]int, t.Racks()),
+		scanRacks: make([]int, 0, t.Racks()+1),
+		scanLB:    make([]float64, 0, t.Racks()+1),
+		scanRW:    make([]int, 0, t.Racks()+1),
+		scanCW:    make([]int, 0, t.Racks()+1),
+	}
+	for r := range e.rackPos {
+		e.rackPos[r] = -1
 	}
 	if a != nil {
 		e.Reset(a)
@@ -54,32 +93,26 @@ func NewDistanceEvaluator(t *topology.Topology, a Allocation) *DistanceEvaluator
 // Reset reloads the evaluator from allocation a, discarding all cached
 // state.
 func (e *DistanceEvaluator) Reset(a Allocation) {
-	for i := range e.w {
+	for _, i := range e.hosts {
 		e.w[i] = 0
-		e.s[i] = 0
+	}
+	for _, r := range e.active {
+		e.rackW[r] = 0
+		e.rackHosts[r] = e.rackHosts[r][:0]
+		e.rackPos[r] = -1
+	}
+	for c := range e.cloudW {
+		e.cloudW[c] = 0
 	}
 	e.hosts = e.hosts[:0]
+	e.active = e.active[:0]
 	e.total = 0
+	e.ssNode, e.ssRack, e.ssCloud = 0, 0, 0
 	for i := range a {
 		if v := model.Sum(a[i]); v > 0 {
-			e.w[i] = v
-			e.total += v
-			e.hosts = append(e.hosts, topology.NodeID(i))
+			e.AddVMs(topology.NodeID(i), v)
 		}
 	}
-	for _, k := range e.hosts {
-		e.s[k] = e.sumAt(e.t.DistanceRow(k))
-	}
-}
-
-// sumAt computes Σ_h w_h · row[h] over the current hosts: the cached sum
-// for the node whose distance row is given.
-func (e *DistanceEvaluator) sumAt(row []float64) float64 {
-	var sum float64
-	for _, h := range e.hosts {
-		sum += float64(e.w[h]) * row[h]
-	}
-	return sum
 }
 
 // VMsOnNode returns the tracked VM total of node i.
@@ -93,49 +126,65 @@ func (e *DistanceEvaluator) TotalVMs() int { return e.total }
 // until the next mutation.
 func (e *DistanceEvaluator) HostingNodes() []topology.NodeID { return e.hosts }
 
-// Add registers one more VM on node i in O(hosts).
+// Add registers one more VM on node i in O(hosts) (the aggregate updates
+// are O(1); the cost is keeping the hosting-node lists sorted).
 func (e *DistanceEvaluator) Add(i topology.NodeID) { e.AddVMs(i, 1) }
 
-// AddVMs registers count more VMs on node i in O(hosts).
+// AddVMs registers count more VMs on node i.
 func (e *DistanceEvaluator) AddVMs(i topology.NodeID, count int) {
 	if count <= 0 {
 		panic(fmt.Sprintf("affinity: AddVMs(%d, %d) with non-positive count", i, count))
 	}
-	row := e.t.DistanceRow(i)
-	newHost := e.w[i] == 0
+	r := e.t.RackOf(i)
+	c := e.t.CloudOf(i)
+	e.ssNode += count * (2*e.w[i] + count)
+	e.ssRack += count * (2*e.rackW[r] + count)
+	e.ssCloud += count * (2*e.cloudW[c] + count)
+	if e.w[i] == 0 {
+		insertSorted(&e.hosts, i)
+		insertSorted(&e.rackHosts[r], i)
+	}
+	if e.rackW[r] == 0 {
+		e.rackPos[r] = len(e.active)
+		e.active = append(e.active, r)
+	}
 	e.w[i] += count
+	e.rackW[r] += count
+	e.cloudW[c] += count
 	e.total += count
-	for _, k := range e.hosts {
-		e.s[k] += float64(count) * row[k]
-	}
-	if newHost {
-		pos := sort.Search(len(e.hosts), func(x int) bool { return e.hosts[x] >= i })
-		e.hosts = append(e.hosts, 0)
-		copy(e.hosts[pos+1:], e.hosts[pos:])
-		e.hosts[pos] = i
-		e.s[i] = e.sumAt(row)
-	}
 }
 
-// Remove deregisters one VM from node i in O(hosts). It panics when none
-// is tracked there, which always indicates a desynchronized caller.
+// Remove deregisters one VM from node i. It panics when none is tracked
+// there, which always indicates a desynchronized caller.
 func (e *DistanceEvaluator) Remove(i topology.NodeID) {
 	if e.w[i] <= 0 {
 		panic(fmt.Sprintf("affinity: evaluator Remove(%d) on empty node", i))
 	}
-	row := e.t.DistanceRow(i)
+	r := e.t.RackOf(i)
+	c := e.t.CloudOf(i)
+	e.ssNode -= 2*e.w[i] - 1
+	e.ssRack -= 2*e.rackW[r] - 1
+	e.ssCloud -= 2*e.cloudW[c] - 1
 	e.w[i]--
+	e.rackW[r]--
+	e.cloudW[c]--
 	e.total--
 	if e.w[i] == 0 {
-		pos := sort.Search(len(e.hosts), func(x int) bool { return e.hosts[x] >= i })
-		e.hosts = append(e.hosts[:pos], e.hosts[pos+1:]...)
+		deleteSorted(&e.hosts, i)
+		deleteSorted(&e.rackHosts[r], i)
 	}
-	for _, k := range e.hosts {
-		e.s[k] -= row[k]
+	if e.rackW[r] == 0 {
+		// Swap-remove r from the active rack list.
+		pos := e.rackPos[r]
+		last := e.active[len(e.active)-1]
+		e.active[pos] = last
+		e.rackPos[last] = pos
+		e.active = e.active[:len(e.active)-1]
+		e.rackPos[r] = -1
 	}
 }
 
-// Move relocates one VM from p to q in O(hosts).
+// Move relocates one VM from p to q.
 func (e *DistanceEvaluator) Move(p, q topology.NodeID) {
 	if p == q {
 		return
@@ -144,38 +193,54 @@ func (e *DistanceEvaluator) Move(p, q topology.NodeID) {
 	e.Add(q)
 }
 
-// DistanceFrom returns the cached S_k for a hosting node k — the inner sum
-// of Definition 1 before minimization. For non-hosting candidates it is
-// computed on the fly in O(hosts).
+func insertSorted(s *[]topology.NodeID, i topology.NodeID) {
+	ids := *s
+	pos := sort.Search(len(ids), func(x int) bool { return ids[x] >= i })
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = i
+	*s = ids
+}
+
+func deleteSorted(s *[]topology.NodeID, i topology.NodeID) {
+	ids := *s
+	pos := sort.Search(len(ids), func(x int) bool { return ids[x] >= i })
+	*s = append(ids[:pos], ids[pos+1:]...)
+}
+
+// TierSum prices S_k — the inner sum of Definition 1 — for a candidate
+// center hosting wk VMs whose rack holds rackVMs and whose cloud holds
+// cloudVMs of the cluster's totalVMs. Every tier-aggregated fast path in
+// this repo (evaluator, one-shot DistanceOf, the placement rack probes)
+// funnels through this one expression, so float comparisons between paths
+// are deterministic and exact ties stay exact.
+func TierSum(d topology.Distances, wk, rackVMs, cloudVMs, totalVMs int) float64 {
+	return float64(wk)*d.SameNode + float64(rackVMs-wk)*d.SameRack +
+		float64(cloudVMs-rackVMs)*d.CrossRack + float64(totalVMs-cloudVMs)*d.CrossCloud
+}
+
+// DistanceFrom returns Σ_i w_i·D_ik for candidate center k — the inner sum
+// of Definition 1 before minimization — in O(1) from the aggregates.
 func (e *DistanceEvaluator) DistanceFrom(k topology.NodeID) float64 {
-	if e.w[k] > 0 {
-		return e.s[k]
-	}
-	return e.sumAt(e.t.DistanceRow(k))
+	return TierSum(e.t.Distances(), e.w[k], e.rackW[e.t.RackOf(k)], e.cloudW[e.t.CloudOf(k)], e.total)
 }
 
 // Distance returns DC(C) per Definition 1 with the minimizing central
-// node, scanning only the cached hosting sums. Ties break toward the
-// lowest node ID, matching Allocation.Distance. An empty cluster has
-// distance 0 and central node -1.
+// node. Ties break toward the lowest node ID, matching Allocation.Distance.
+// An empty cluster has distance 0 and central node -1. Cost: O(active
+// racks) plus a hosting-node scan of the racks whose aggregate lower bound
+// survives pruning.
 func (e *DistanceEvaluator) Distance() (float64, topology.NodeID) {
 	if e.total == 0 {
 		return 0, -1
 	}
-	best := math.Inf(1)
-	bestK := topology.NodeID(-1)
-	for _, k := range e.hosts { // ascending: first strict minimum wins ties
-		if e.s[k] < best {
-			best, bestK = e.s[k], k
-		}
-	}
-	return best, bestK
+	return e.bestCenter(-1, -1)
 }
 
 // MovePreview prices the hypothetical relocation of one VM from p to q:
 // the exact DC(C) and central node the cluster would have after the move,
-// computed in O(hosts) without mutating the evaluator. It panics when p
-// hosts no VM. MovePreview(p, p) is the current Distance.
+// computed without mutating the evaluator. It panics when p hosts no VM.
+// MovePreview(p, p) is the current Distance.
 func (e *DistanceEvaluator) MovePreview(p, q topology.NodeID) (float64, topology.NodeID) {
 	if e.w[p] <= 0 {
 		panic(fmt.Sprintf("affinity: MovePreview(%d, %d) from empty node", p, q))
@@ -183,30 +248,109 @@ func (e *DistanceEvaluator) MovePreview(p, q topology.NodeID) (float64, topology
 	if p == q {
 		return e.Distance()
 	}
-	rowP := e.t.DistanceRow(p)
-	rowQ := e.t.DistanceRow(q)
+	return e.bestCenter(p, q)
+}
+
+// bestCenter minimizes S_k over the cluster's hosting nodes — the current
+// ones when p < 0, or those after a hypothetical single-VM move p→q. The
+// minimum over all n candidate centers is always attained at a hosting node
+// (Theorem 1's exchange argument), so only hosting nodes are scanned.
+//
+// Pass 1 prices each candidate rack's lower bound (its whole rack total
+// concentrated on one node); pass 2 scans hosting nodes only in racks whose
+// bound ties or beats the incumbent, seeded from the tightest rack. The
+// bound is computed by the same expression as the exact sum, so pruning on
+// lb > best never discards an exact tie.
+func (e *DistanceEvaluator) bestCenter(p, q topology.NodeID) (float64, topology.NodeID) {
+	d := e.t.Distances()
+	adj := p >= 0
+	rp, rq, cp, cq := -1, -1, -1, -1
+	racks := append(e.scanRacks[:0], e.active...)
+	if adj {
+		rp, rq = e.t.RackOf(p), e.t.RackOf(q)
+		cp, cq = e.t.CloudOf(p), e.t.CloudOf(q)
+		if e.rackW[rq] == 0 {
+			racks = append(racks, rq)
+		}
+	}
+	lbs := e.scanLB[:0]
+	rws := e.scanRW[:0]
+	cws := e.scanCW[:0]
+	seed := -1
+	for idx, r := range racks {
+		rw := e.rackW[r]
+		cl := e.t.CloudOfRack(r)
+		cw := e.cloudW[cl]
+		if adj {
+			if r == rp {
+				rw--
+			}
+			if r == rq {
+				rw++
+			}
+			if cl == cp {
+				cw--
+			}
+			if cl == cq {
+				cw++
+			}
+		}
+		rws = append(rws, rw)
+		cws = append(cws, cw)
+		if rw == 0 { // the move drains this rack entirely
+			lbs = append(lbs, math.Inf(1))
+			continue
+		}
+		lb := TierSum(d, rw, rw, cw, e.total)
+		lbs = append(lbs, lb)
+		if seed < 0 || lb < lbs[seed] {
+			seed = idx
+		}
+	}
+	e.scanRacks, e.scanLB, e.scanRW, e.scanCW = racks, lbs, rws, cws
+
 	best := math.Inf(1)
 	bestK := topology.NodeID(-1)
-	// Candidate centers are the post-move hosting nodes, visited in
-	// ascending ID order so ties resolve exactly as a from-scratch scan.
-	consider := func(k topology.NodeID, sk float64) {
-		if d := sk - rowP[k] + rowQ[k]; d < best {
-			best, bestK = d, k
+	scan := func(idx int) {
+		r := racks[idx]
+		maxW := 0
+		maxID := topology.NodeID(-1)
+		for _, h := range e.rackHosts[r] {
+			wh := e.w[h]
+			if adj {
+				if h == p {
+					wh--
+				}
+				if h == q {
+					wh++
+				}
+			}
+			if wh == 0 {
+				continue
+			}
+			if wh > maxW || (wh == maxW && h < maxID) {
+				maxW, maxID = wh, h
+			}
+		}
+		if adj && r == rq && e.w[q] == 0 {
+			// q becomes a hosting node only after the move.
+			if 1 > maxW || (1 == maxW && q < maxID) {
+				maxW, maxID = 1, q
+			}
+		}
+		if maxW == 0 {
+			return
+		}
+		if s := TierSum(d, maxW, rws[idx], cws[idx], e.total); s < best || (s == best && maxID < bestK) {
+			best, bestK = s, maxID
 		}
 	}
-	qSeen := e.w[q] > 0 // q already in hosts: handled by the loop below
-	for _, k := range e.hosts {
-		if !qSeen && k > q {
-			consider(q, e.sumAt(rowQ))
-			qSeen = true
+	scan(seed)
+	for idx := range racks {
+		if idx == seed || lbs[idx] > best {
+			continue
 		}
-		if k == p && e.w[p] == 1 {
-			continue // p stops hosting after the move
-		}
-		consider(k, e.s[k])
-	}
-	if !qSeen {
-		consider(q, e.sumAt(rowQ))
+		scan(idx)
 	}
 	return best, bestK
 }
@@ -221,29 +365,20 @@ func (e *DistanceEvaluator) MoveDelta(p, q topology.NodeID) float64 {
 }
 
 // PairwiseAffinity computes the all-pairs distance metric of the paper's
-// experimental section from the cached node totals in O(hosts²) — no
-// allocation-matrix scan.
+// experimental section in O(1) from the aggregate square sums: the number
+// of unordered VM pairs at each tier is a difference of squared totals.
 func (e *DistanceEvaluator) PairwiseAffinity() float64 {
-	sameNode := e.t.Distances().SameNode
-	var sum float64
-	for x := 0; x < len(e.hosts); x++ {
-		hx := e.hosts[x]
-		vx := e.w[hx]
-		sum += float64(vx*(vx-1)/2) * sameNode
-		row := e.t.DistanceRow(hx)
-		for y := x + 1; y < len(e.hosts); y++ {
-			hy := e.hosts[y]
-			sum += float64(vx*e.w[hy]) * row[hy]
-		}
-	}
-	return sum
+	d := e.t.Distances()
+	tot := e.total
+	return d.SameNode*float64(e.ssNode-tot)/2 +
+		d.SameRack*float64(e.ssRack-e.ssNode)/2 +
+		d.CrossRack*float64(e.ssCloud-e.ssRack)/2 +
+		d.CrossCloud*float64(tot*tot-e.ssCloud)/2
 }
 
 // PairwiseMoveDelta returns the exact change in PairwiseAffinity caused by
-// relocating one VM from p to q, in O(hosts) and without mutating. With
-// weights w and same-node tier d0 the closed form is
-//
-//	Δ = Σ_{h∉{p,q}} w_h·(D_hq − D_hp) + (w_p − w_q − 1)·D_pq + d0·(w_q − w_p + 1)
+// relocating one VM from p to q, in O(1) and without mutating: only the
+// square sums of the touched node/rack/cloud totals shift.
 func (e *DistanceEvaluator) PairwiseMoveDelta(p, q topology.NodeID) float64 {
 	if e.w[p] <= 0 {
 		panic(fmt.Sprintf("affinity: PairwiseMoveDelta(%d, %d) from empty node", p, q))
@@ -251,40 +386,57 @@ func (e *DistanceEvaluator) PairwiseMoveDelta(p, q topology.NodeID) float64 {
 	if p == q {
 		return 0
 	}
-	rowP := e.t.DistanceRow(p)
-	rowQ := e.t.DistanceRow(q)
-	var delta float64
-	for _, h := range e.hosts {
-		if h == p || h == q {
-			continue
-		}
-		delta += float64(e.w[h]) * (rowQ[h] - rowP[h])
+	d := e.t.Distances()
+	// (x−1)²−x² = 1−2x and (x+1)²−x² = 2x+1 at each aggregation level.
+	dNode := 2*(e.w[q]-e.w[p]) + 2
+	dRack, dCloud := 0, 0
+	if rp, rq := e.t.RackOf(p), e.t.RackOf(q); rp != rq {
+		dRack = 2*(e.rackW[rq]-e.rackW[rp]) + 2
 	}
-	wp, wq := e.w[p], e.w[q]
-	delta += float64(wp-wq-1) * rowP[q]
-	delta += e.t.Distances().SameNode * float64(wq-wp+1)
-	return delta
+	if cp, cq := e.t.CloudOf(p), e.t.CloudOf(q); cp != cq {
+		dCloud = 2*(e.cloudW[cq]-e.cloudW[cp]) + 2
+	}
+	return d.SameNode*float64(dNode)/2 +
+		d.SameRack*float64(dRack-dNode)/2 +
+		d.CrossRack*float64(dCloud-dRack)/2 +
+		d.CrossCloud*float64(-dCloud)/2
 }
 
 // DistanceOf computes Definition 1 once for per-node VM totals w restricted
 // to the hosting nodes hosts (any order; ties still break toward the lowest
-// node ID). It is the one-shot path used by center scans that build many
-// short-lived candidate placements: O(hosts²) with flattened distance rows,
-// versus O(hosts·n·m) for Allocation.Distance on the full matrix.
+// node ID). It is the one-shot path for short-lived candidate placements:
+// the hosts are folded into rack/cloud aggregates and only rack-level bests
+// are compared — O(hosts + racks) instead of the former O(hosts²).
 func DistanceOf(t *topology.Topology, hosts []topology.NodeID, w []int) (float64, topology.NodeID) {
 	if len(hosts) == 0 {
 		return 0, -1
 	}
+	d := t.Distances()
+	rackW := make([]int, t.Racks())
+	cloudW := make([]int, t.Clouds())
+	bestW := make([]int, t.Racks())
+	bestID := make([]topology.NodeID, t.Racks())
+	active := make([]int, 0, len(hosts))
+	total := 0
+	for _, h := range hosts {
+		r := t.RackOf(h)
+		wh := w[h]
+		if rackW[r] == 0 {
+			active = append(active, r)
+			bestW[r], bestID[r] = wh, h
+		} else if wh > bestW[r] || (wh == bestW[r] && h < bestID[r]) {
+			bestW[r], bestID[r] = wh, h
+		}
+		rackW[r] += wh
+		cloudW[t.CloudOf(h)] += wh
+		total += wh
+	}
 	best := math.Inf(1)
 	bestK := topology.NodeID(-1)
-	for _, k := range hosts {
-		row := t.DistanceRow(k)
-		var sum float64
-		for _, i := range hosts {
-			sum += float64(w[i]) * row[i]
-		}
-		if sum < best || (sum == best && k < bestK) {
-			best, bestK = sum, k
+	for _, r := range active {
+		s := TierSum(d, bestW[r], rackW[r], cloudW[t.CloudOfRack(r)], total)
+		if s < best || (s == best && bestID[r] < bestK) {
+			best, bestK = s, bestID[r]
 		}
 	}
 	return best, bestK

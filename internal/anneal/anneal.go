@@ -109,6 +109,7 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 	m := len(reqs[0])
 	decay := math.Pow(0.01, 1/float64(iterations)) // StartTemp → 1% over the run
 	temp := startTemp
+	types := make([]int, 0, m) // hoisted proposal scratch, reused per iteration
 	for it := 0; it < iterations; it++ {
 		temp *= decay
 		res.Proposed++
@@ -118,7 +119,7 @@ func Optimize(t *topology.Topology, l [][]int, reqs []model.Request, opt Options
 		// Pick a random hosted (node, type) cell.
 		hosts := ev.HostingNodes()
 		from := hosts[rng.Intn(len(hosts))]
-		var types []int
+		types = types[:0]
 		for j := 0; j < m; j++ {
 			if a[from][j] > 0 {
 				types = append(types, j)

@@ -66,11 +66,15 @@ func (p *Placer) Name() string {
 	return fmt.Sprintf("jointopt(w=%.2f)", p.Profile.ShuffleWeight)
 }
 
-// Score evaluates the blended objective for an allocation.
+// Score evaluates the blended objective for an allocation. One evaluator
+// serves both terms: DC through the tier aggregates and the pairwise
+// affinity through its closed form, so scoring costs O(hosts) instead of
+// two full scans of the allocation matrix.
 func (p *Placer) Score(t *topology.Topology, a affinity.Allocation) float64 {
 	w := p.Profile.ShuffleWeight
-	d, _ := a.Distance(t)
-	return w*a.PairwiseAffinity(t) + (1-w)*d
+	ev := affinity.NewDistanceEvaluator(t, a)
+	d, _ := ev.Distance()
+	return w*ev.PairwiseAffinity() + (1-w)*d
 }
 
 // Place implements placement.Placer: seed with Algorithm 1, then improve

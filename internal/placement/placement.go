@@ -11,7 +11,9 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"affinitycluster/internal/affinity"
@@ -44,12 +46,19 @@ func available(l [][]int, m int) []int {
 	return a
 }
 
-// admit implements the paper's first check: every R_j ≤ A_j.
+// admit implements the paper's first check, every R_j ≤ A_j, against a
+// fresh scan of L — the one-shot form the baseline placers use.
 func admit(l [][]int, r model.Request) error {
-	a := available(l, len(r))
+	return admitAvail(available(l, len(r)), r)
+}
+
+// admitAvail is admit against precomputed column totals. Batch drivers
+// maintain the totals across requests instead of rescanning the full L
+// matrix per admission.
+func admitAvail(avail []int, r model.Request) error {
 	for j := range r {
-		if r[j] > a[j] {
-			return fmt.Errorf("%w: type %d needs %d, %d available", ErrInsufficient, j, r[j], a[j])
+		if r[j] > avail[j] {
+			return fmt.Errorf("%w: type %d needs %d, %d available", ErrInsufficient, j, r[j], avail[j])
 		}
 	}
 	return nil
@@ -59,14 +68,24 @@ func admit(l [][]int, r model.Request) error {
 type CenterPolicy int
 
 const (
-	// ScanAllCenters tries every node as the center and keeps the best
-	// allocation. Same O(n²m) complexity as the paper's loop, strictly
-	// dominating results.
+	// ScanAllCenters keeps the best allocation over every candidate center,
+	// strictly dominating results. Since the build around any center in a
+	// rack shares its per-rack tier profile with every other center of that
+	// rack, the scan probes one representative center per rack (the
+	// max-capacity node) and only re-builds inside racks that tie the best
+	// DC — O(racks) builds instead of the paper's O(n), with bit-identical
+	// output to ExhaustiveCenters including the lowest-ID tie-break.
 	ScanAllCenters CenterPolicy = iota
 	// RandomCenter follows the paper's narration: pick one random center,
 	// then keep scanning and switch only when an improvement appears.
 	// With a nil Rand it degenerates to starting from node 0.
 	RandomCenter
+	// ExhaustiveCenters is the pre-pruning reference scan: every node is
+	// tried as the center, ascending ID, first strict improvement kept.
+	// It exists as the equivalence oracle for ScanAllCenters and as the
+	// baseline arm of the scale benchmarks; results are identical, cost is
+	// O(n) builds per request.
+	ExhaustiveCenters
 )
 
 // OnlineHeuristic is the paper's Algorithm 1: greedy placement around a
@@ -87,6 +106,11 @@ type OnlineHeuristic struct {
 	randMu  sync.Mutex // guards Rand
 	obsOnce sync.Once
 	metrics placerMetrics
+
+	// bufPool recycles buildBuffers across Place calls on this placer.
+	// Buffers are keyed by the (nodes, types) shape; a pooled buffer whose
+	// shape no longer matches is dropped rather than resized.
+	bufPool sync.Pool
 }
 
 // placerMetrics are the resolved obs handles of a placer. The zero value
@@ -128,14 +152,28 @@ func (h *OnlineHeuristic) placeRand() *rand.Rand {
 
 // Name implements Placer.
 func (h *OnlineHeuristic) Name() string {
-	if h.Policy == RandomCenter {
+	switch h.Policy {
+	case RandomCenter:
 		return "online-heuristic/random-center"
+	case ExhaustiveCenters:
+		return "online-heuristic/exhaustive"
+	default:
+		return "online-heuristic"
 	}
-	return "online-heuristic"
 }
 
 // Place implements Placer with the paper's Algorithm 1.
 func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request) (affinity.Allocation, error) {
+	if len(l) != t.Nodes() {
+		return nil, fmt.Errorf("placement: capacity matrix has %d rows, topology has %d nodes", len(l), t.Nodes())
+	}
+	return h.placeWith(t, l, r, available(l, len(r)))
+}
+
+// placeWith is Place against caller-maintained availability column totals
+// A_j = Σ_i L_ij, so batch drivers amortize the O(n·m) admission rescan.
+// avail is read-only here.
+func (h *OnlineHeuristic) placeWith(t *topology.Topology, l [][]int, r model.Request, avail []int) (affinity.Allocation, error) {
 	n := t.Nodes()
 	m := len(r)
 	om := h.obsHandles()
@@ -143,7 +181,7 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 	if len(l) != n {
 		return nil, fmt.Errorf("placement: capacity matrix has %d rows, topology has %d nodes", len(l), n)
 	}
-	if err := admit(l, r); err != nil {
+	if err := admitAvail(avail, r); err != nil {
 		om.infeasible.Inc()
 		return nil, err
 	}
@@ -159,12 +197,35 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 		}
 	}
 
+	buf := h.getBuffer(n, m)
+	defer h.putBuffer(buf)
 	var (
 		best     affinity.Allocation
 		bestDist float64
 	)
-	buf := newBuildBuffer(n, m)
-	order := h.centerOrder(n, h.placeRand())
+	if h.Policy == ScanAllCenters {
+		best, bestDist = h.placeRackProbe(t, l, r, buf)
+	} else {
+		best, bestDist = h.placeExhaustive(t, l, r, buf)
+	}
+	if best == nil {
+		// Admission held, so aggregate capacity suffices; every center can
+		// reach every node, so construction cannot fail.
+		return nil, fmt.Errorf("placement: internal error — no allocation built for feasible request %v", r)
+	}
+	om.dc.Observe(bestDist)
+	return best, nil
+}
+
+// placeExhaustive is the reference center scan: build around every
+// candidate center and keep the first strict improvement. RandomCenter
+// rotates the scan order; ExhaustiveCenters walks ascending IDs.
+func (h *OnlineHeuristic) placeExhaustive(t *topology.Topology, l [][]int, r model.Request, buf *buildBuffer) (affinity.Allocation, float64) {
+	var (
+		best     affinity.Allocation
+		bestDist float64
+	)
+	order := h.centerOrder(t.Nodes(), h.placeRand())
 	for _, center := range order {
 		ok := buf.buildAround(t, l, r, center)
 		if !ok {
@@ -178,23 +239,126 @@ func (h *OnlineHeuristic) Place(t *topology.Topology, l [][]int, r model.Request
 			best, bestDist = buf.alloc.Clone(), d
 		}
 		buf.reset()
-		if h.Policy == RandomCenter && best != nil {
-			// The paper breaks out of L1 once a full allocation improves
-			// on the incumbent; with a random start that means the first
-			// complete allocation wins unless a later center strictly
-			// improves it. We keep scanning but the random start already
-			// decided the tie-breaks, matching the published behaviour of
-			// "random center, then local improvement".
-			continue
+	}
+	return best, bestDist
+}
+
+// placeRackProbe is the tier-aggregated center scan. The build around any
+// center of rack ρ shares its per-rack VM totals with every other center
+// of ρ: the rack's own take per type is min(Σ_{i∈ρ}L_ij, R_j) regardless
+// of which member seeds it, and the remote fill order (tier, then supply,
+// then ID) is identical for all of them. Only the distribution inside ρ
+// differs, and within a rack S_k shrinks as the center's own VM count
+// grows, so the best achievable DC for rack ρ is realized by probing its
+// highest-capacity node. One probe build per rack therefore yields each
+// rack's exact best DC; the global winner is then pinned down by
+// re-building only inside racks that tie the minimum, preserving the
+// exhaustive scan's lowest-ID tie-break bit for bit.
+func (h *OnlineHeuristic) placeRackProbe(t *topology.Topology, l [][]int, r model.Request, buf *buildBuffer) (affinity.Allocation, float64) {
+	racks := t.Racks()
+	buf.ensureTopo(t)
+	// Per-node capacity against R (Σ_j min(L_ij, R_j)) and each rack's
+	// lowest-ID argmax: the probe center.
+	for i := range buf.nodeCap {
+		c := 0
+		li := l[i]
+		for j, need := range r {
+			if k := li[j]; k < need {
+				c += k
+			} else {
+				c += need
+			}
+		}
+		buf.nodeCap[i] = c
+	}
+	for rr := 0; rr < racks; rr++ {
+		buf.rackCapW[rr] = -1
+		buf.rackCapNode[rr] = -1
+		for _, id := range t.RackNodes(rr) {
+			if buf.nodeCap[id] > buf.rackCapW[rr] {
+				buf.rackCapW[rr] = buf.nodeCap[id]
+				buf.rackCapNode[rr] = id
+			}
 		}
 	}
-	if best == nil {
-		// admit() held, so aggregate capacity suffices; every center can
-		// reach every node, so construction cannot fail.
-		return nil, fmt.Errorf("placement: internal error — no allocation built for feasible request %v", r)
+
+	// Probe one build per rack.
+	bestDC := math.Inf(1)
+	for rr := 0; rr < racks; rr++ {
+		if buf.rackCapNode[rr] < 0 { // rack without nodes
+			buf.rackDC[rr] = math.Inf(1)
+			continue
+		}
+		if !buf.buildAround(t, l, r, buf.rackCapNode[rr]) {
+			buf.reset()
+			buf.rackDC[rr] = math.Inf(1)
+			continue
+		}
+		dc, out := buf.scoreTier(t, rr)
+		buf.reset()
+		buf.rackDC[rr] = dc
+		buf.rackOut[rr] = out
+		if dc < bestDC {
+			bestDC = dc
+		}
 	}
-	om.dc.Observe(bestDist)
-	return best, nil
+	if math.IsInf(bestDC, 1) {
+		return nil, 0
+	}
+
+	// Winner: the lowest-ID center achieving bestDC, looked for only inside
+	// racks that tie it. When the minimum comes from a hosting node outside
+	// the candidate rack, every center of that rack achieves it and the
+	// rack's lowest ID wins outright; otherwise a center achieves it iff its
+	// build concentrates the rack's max capacity on a single node, which its
+	// own capacity either proves or a re-build decides.
+	winner := topology.NodeID(-1)
+	for rr := 0; rr < racks; rr++ {
+		if buf.rackDC[rr] != bestDC {
+			continue
+		}
+		nodes := t.RackNodes(rr)
+		if winner >= 0 && nodes[0] > winner {
+			continue
+		}
+		if buf.rackOut[rr] == bestDC {
+			if winner < 0 || nodes[0] < winner {
+				winner = nodes[0]
+			}
+			continue
+		}
+		for _, c := range nodes {
+			if winner >= 0 && c > winner {
+				break
+			}
+			// A center matching the rack's max capacity reproduces the probe
+			// build's tier profile outright; any other needs a re-build and
+			// an exact re-price to decide.
+			if buf.nodeCap[c] == buf.rackCapW[rr] {
+				winner = c
+				break
+			}
+			if !buf.buildAround(t, l, r, c) {
+				buf.reset()
+				continue
+			}
+			dc, _ := buf.scoreTier(t, rr)
+			buf.reset()
+			if dc == bestDC {
+				winner = c
+				break
+			}
+		}
+	}
+
+	// Materialize the winning build.
+	if !buf.buildAround(t, l, r, winner) {
+		buf.reset()
+		return nil, 0
+	}
+	best := buf.alloc.Clone()
+	buf.reset()
+	return best, bestDC
 }
 
 // centerOrder yields candidate centers: identity order for the full scan,
@@ -216,24 +380,115 @@ func (h *OnlineHeuristic) centerOrder(n int, rng *rand.Rand) []topology.NodeID {
 
 // buildBuffer holds the scratch state of the center scan so a single
 // allocation matrix, weight vector, and candidate lists are reused across
-// all n candidate centers — the scan itself allocates nothing per center.
+// all candidate centers — the scan itself allocates nothing per center.
 type buildBuffer struct {
+	n, m     int // shape, the pool key
 	alloc    affinity.Allocation
 	w        []int             // per-node VM totals of the current build
 	hosts    []topology.NodeID // take-order hosting nodes
 	supply   []int             // per-node supply of the current residual
 	residual model.Request
-	cand     []topology.NodeID // peer/remote candidate scratch
+	cand     []topology.NodeID // near candidate scratch (peers / same cloud)
+	cand2    []topology.NodeID // far candidate scratch (cross cloud)
+
+	// Rack-probe scratch, sized lazily against the topology.
+	nodeCap     []int             // per-node Σ_j min(L_ij, R_j)
+	rackCapW    []int             // per-rack max nodeCap
+	rackCapNode []topology.NodeID // per-rack lowest-ID argmax nodeCap
+	rackDC      []float64         // per-rack probe DC
+	rackOut     []float64         // per-rack min S_k over hosts outside it
+	rackAgg     []int             // scoreTier: per-rack VM totals
+	bestW       []int             // scoreTier: per-rack max node load
+	cloudAgg    []int             // scoreTier: per-cloud VM totals
+	touched     []int             // scoreTier: racks hosting the build
 }
 
 func newBuildBuffer(n, m int) *buildBuffer {
 	return &buildBuffer{
-		alloc:  affinity.NewAllocation(n, m),
-		w:      make([]int, n),
-		hosts:  make([]topology.NodeID, 0, 8),
-		supply: make([]int, n),
-		cand:   make([]topology.NodeID, 0, n),
+		n:       n,
+		m:       m,
+		alloc:   affinity.NewAllocation(n, m),
+		w:       make([]int, n),
+		hosts:   make([]topology.NodeID, 0, 8),
+		supply:  make([]int, n),
+		cand:    make([]topology.NodeID, 0, n),
+		cand2:   make([]topology.NodeID, 0, n),
+		nodeCap: make([]int, n),
 	}
+}
+
+// getBuffer pulls a shape-matching buffer from the pool or builds one.
+func (h *OnlineHeuristic) getBuffer(n, m int) *buildBuffer {
+	if v := h.bufPool.Get(); v != nil {
+		if b := v.(*buildBuffer); b.n == n && b.m == m {
+			return b
+		}
+	}
+	return newBuildBuffer(n, m)
+}
+
+func (h *OnlineHeuristic) putBuffer(b *buildBuffer) { h.bufPool.Put(b) }
+
+// ensureTopo sizes the rack/cloud scratch for t.
+func (b *buildBuffer) ensureTopo(t *topology.Topology) {
+	if racks := t.Racks(); len(b.rackCapW) < racks {
+		b.rackCapW = make([]int, racks)
+		b.rackCapNode = make([]topology.NodeID, racks)
+		b.rackDC = make([]float64, racks)
+		b.rackOut = make([]float64, racks)
+		b.rackAgg = make([]int, racks)
+		b.bestW = make([]int, racks)
+		b.touched = make([]int, 0, racks)
+	}
+	if clouds := t.Clouds(); len(b.cloudAgg) < clouds {
+		b.cloudAgg = make([]int, clouds)
+	}
+}
+
+// scoreTier prices the current build in O(hosts + clouds): fold the build
+// into per-rack and per-cloud VM totals, then evaluate Definition 1's
+// center sum S_k per hosting rack at its most-loaded node through
+// affinity.TierSum — the same expression DistanceOf uses, so the values
+// are bit-identical to a full scan. dc is the build's DC(C); out is the
+// minimum S_k over hosting nodes outside centerRack (+Inf when the build
+// lives entirely inside it).
+func (b *buildBuffer) scoreTier(t *topology.Topology, centerRack int) (dc, out float64) {
+	d := t.Distances()
+	total := 0
+	b.touched = b.touched[:0]
+	for _, h := range b.hosts {
+		rr := t.RackOf(h)
+		if b.rackAgg[rr] == 0 {
+			b.touched = append(b.touched, rr)
+			b.bestW[rr] = 0
+		}
+		w := b.w[h]
+		b.rackAgg[rr] += w
+		total += w
+		if w > b.bestW[rr] {
+			b.bestW[rr] = w
+		}
+	}
+	for c := range b.cloudAgg {
+		b.cloudAgg[c] = 0
+	}
+	for _, rr := range b.touched {
+		b.cloudAgg[t.CloudOfRack(rr)] += b.rackAgg[rr]
+	}
+	dc, out = math.Inf(1), math.Inf(1)
+	for _, rr := range b.touched {
+		s := affinity.TierSum(d, b.bestW[rr], b.rackAgg[rr], b.cloudAgg[t.CloudOfRack(rr)], total)
+		if s < dc {
+			dc = s
+		}
+		if rr != centerRack && s < out {
+			out = s
+		}
+	}
+	for _, rr := range b.touched {
+		b.rackAgg[rr] = 0
+	}
+	return dc, out
 }
 
 // reset clears only the cells the last build touched.
@@ -290,16 +545,14 @@ func (b *buildBuffer) supplyOf(li []int) int {
 	return s
 }
 
-// sortCandidates orders b.cand by the strict total order less (an
-// insertion sort: candidate lists are rack-sized, and every comparator
-// breaks ties by node ID, so the order is deterministic).
-func (b *buildBuffer) sortCandidates(less func(a, c topology.NodeID) bool) {
-	ids := b.cand
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
+// bySupply orders candidates by supply of the residual descending, ties
+// by node ID — a strict total order, so any correct sort produces the
+// same sequence the old insertion sort did.
+func (b *buildBuffer) bySupply(a, c topology.NodeID) int {
+	if b.supply[a] != b.supply[c] {
+		return b.supply[c] - b.supply[a]
 	}
+	return int(a) - int(c)
 }
 
 // buildAround greedily builds an allocation centered on the given node:
@@ -317,47 +570,65 @@ func (b *buildBuffer) buildAround(t *topology.Topology, l [][]int, r model.Reque
 		return true
 	}
 	// Same rack, descending supply of the current residual; ties by ID.
+	cRack := t.RackOf(center)
 	b.cand = b.cand[:0]
-	for _, id := range t.RackNodes(t.RackOf(center)) {
+	for _, id := range t.RackNodes(cRack) {
 		if id != center {
 			b.cand = append(b.cand, id)
 			b.supply[id] = b.supplyOf(l[id])
 		}
 	}
-	b.sortCandidates(func(a, c topology.NodeID) bool {
-		if b.supply[a] != b.supply[c] {
-			return b.supply[a] > b.supply[c]
-		}
-		return a < c
-	})
+	slices.SortFunc(b.cand, b.bySupply)
 	for _, i := range b.cand {
 		if b.take(l, i) {
 			return true
 		}
 	}
-	// Remote nodes: ascending distance from the center, then descending
-	// supply within the same distance tier.
+	// Remote nodes close the remainder in ascending distance tiers. The
+	// center's distance row takes only two values outside its rack —
+	// CrossRack inside its cloud, CrossCloud beyond — so instead of
+	// comparison-sorting all n−|rack| hosts the candidates are bucketed by
+	// tier and each bucket sorted alone (supply desc, then ID). Supplies
+	// for BOTH buckets are computed before any take so every sort key
+	// reflects the residual as it stood when the remote phase began,
+	// exactly as the single-list sort saw it; only the far bucket's sort
+	// is skipped when the near one covers the residual.
+	cCloud := t.CloudOf(center)
 	b.cand = b.cand[:0]
+	b.cand2 = b.cand2[:0]
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
-		if t.RackOf(id) != t.RackOf(center) {
+		if t.RackOf(id) == cRack {
+			continue
+		}
+		b.supply[id] = b.supplyOf(l[id])
+		if t.CloudOf(id) == cCloud {
 			b.cand = append(b.cand, id)
-			b.supply[id] = b.supplyOf(l[id])
+		} else {
+			b.cand2 = append(b.cand2, id)
 		}
 	}
-	centerRow := t.DistanceRow(center)
-	b.sortCandidates(func(a, c topology.NodeID) bool {
-		if centerRow[a] != centerRow[c] {
-			return centerRow[a] < centerRow[c]
-		}
-		if b.supply[a] != b.supply[c] {
-			return b.supply[a] > b.supply[c]
-		}
-		return a < c
-	})
-	for _, i := range b.cand {
+	d := t.Distances()
+	near, far := b.cand, b.cand2
+	switch {
+	case d.CrossCloud < d.CrossRack: // degenerate tiering: far is closer
+		near, far = far, near
+	case d.CrossCloud == d.CrossRack: // one merged tier
+		near = append(near, far...)
+		far = nil
+	}
+	slices.SortFunc(near, b.bySupply)
+	for _, i := range near {
 		if b.take(l, i) {
 			return true
+		}
+	}
+	if len(far) > 0 {
+		slices.SortFunc(far, b.bySupply)
+		for _, i := range far {
+			if b.take(l, i) {
+				return true
+			}
 		}
 	}
 	left := 0
@@ -438,8 +709,15 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
 
 	// Step 2: sequential online placement, depleting the working capacity.
+	// Availability column totals are carried across requests — an accepted
+	// allocation delivers exactly R, so the admission test costs O(m)
+	// instead of an O(n·m) rescan of the working matrix.
+	var avail []int
 	for qi, r := range reqs {
-		alloc, err := online.Place(t, work, r)
+		if len(avail) != len(r) {
+			avail = available(work, len(r))
+		}
+		alloc, err := online.placeWith(t, work, r, avail)
 		if err != nil {
 			if errors.Is(err, ErrInsufficient) {
 				res.Failed++
@@ -452,6 +730,9 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 			for j, k := range alloc[i] {
 				work[i][j] -= k
 			}
+		}
+		for j := range r {
+			avail[j] -= r[j]
 		}
 	}
 
@@ -631,8 +912,23 @@ func (g *GlobalSubOpt) swapPair(a, b affinity.Allocation, evA, evB *affinity.Dis
 func PlaceSequential(t *topology.Topology, l [][]int, reqs []model.Request, p Placer) (*BatchResult, error) {
 	work := cloneMatrix(l)
 	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
+	// The online heuristic admits against caller-maintained column totals;
+	// other placers fall back to Place and its per-request rescan.
+	oh, _ := p.(*OnlineHeuristic)
+	var avail []int
 	for qi, r := range reqs {
-		alloc, err := p.Place(t, work, r)
+		var (
+			alloc affinity.Allocation
+			err   error
+		)
+		if oh != nil {
+			if len(avail) != len(r) {
+				avail = available(work, len(r))
+			}
+			alloc, err = oh.placeWith(t, work, r, avail)
+		} else {
+			alloc, err = p.Place(t, work, r)
+		}
 		if err != nil {
 			if errors.Is(err, ErrInsufficient) {
 				res.Failed++
@@ -646,6 +942,11 @@ func PlaceSequential(t *topology.Topology, l [][]int, reqs []model.Request, p Pl
 		for i := range alloc {
 			for j, k := range alloc[i] {
 				work[i][j] -= k
+			}
+		}
+		if oh != nil {
+			for j := range r {
+				avail[j] -= r[j]
 			}
 		}
 	}

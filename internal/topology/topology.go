@@ -68,7 +68,8 @@ type Topology struct {
 	cloudOf   []int
 	racks     int
 	clouds    int
-	rackNodes [][]NodeID // nodes grouped by rack
+	rackNodes [][]NodeID // nodes grouped by rack, ascending IDs
+	rackCloud []int      // cloud index per rack (-1 for an empty rack)
 	// flat is the materialized row-major n×n distance table, so the hot
 	// Distance path is an array load instead of rack/cloud branch logic.
 	// It is nil above flatTableMaxNodes, where the O(n²) memory would
@@ -175,8 +176,23 @@ func (b *Builder) Build() (*Topology, error) {
 		t.cloudOf[i] = n.Cloud
 		t.rackNodes[n.Rack] = append(t.rackNodes[n.Rack], n.ID)
 	}
+	t.buildRackCloud()
 	t.buildFlat()
 	return t, nil
+}
+
+// buildRackCloud derives the rack→cloud map from the first node of each
+// rack. A rack that holds no nodes maps to -1; no placement aggregate ever
+// consults it.
+func (t *Topology) buildRackCloud() {
+	t.rackCloud = make([]int, t.racks)
+	for r := range t.rackCloud {
+		if len(t.rackNodes[r]) == 0 {
+			t.rackCloud[r] = -1
+			continue
+		}
+		t.rackCloud[r] = t.cloudOf[t.rackNodes[r][0]]
+	}
 }
 
 // Uniform builds the symmetric topology used throughout the paper's
@@ -231,9 +247,18 @@ func (t *Topology) CloudOf(id NodeID) int { return t.cloudOf[id] }
 // SameRack reports whether two nodes share a rack.
 func (t *Topology) SameRack(a, b NodeID) bool { return t.rackOf[a] == t.rackOf[b] }
 
-// RackNodes returns the IDs of the nodes in rack r. The returned slice must
-// not be modified.
+// RackNodes returns the IDs of the nodes in rack r in ascending order (so
+// RackNodes(r)[0] is the lowest node ID of the rack). The returned slice
+// must not be modified.
 func (t *Topology) RackNodes(r int) []NodeID { return t.rackNodes[r] }
+
+// CloudOfRack returns the cloud index of rack r, or -1 for a rack without
+// nodes. It is the rack-level companion of CloudOf, used by the tier
+// aggregation layer to price Definition 1 from per-rack totals.
+func (t *Topology) CloudOfRack(r int) int { return t.rackCloud[r] }
+
+// RackSize returns the number of nodes in rack r.
+func (t *Topology) RackSize(r int) int { return len(t.rackNodes[r]) }
 
 // Distances returns the tier constants of the topology.
 func (t *Topology) Distances() Distances { return t.dist }
@@ -373,6 +398,15 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 		built.rackOf[i] = n.Rack
 		built.cloudOf[i] = n.Cloud
 		built.rackNodes[n.Rack] = append(built.rackNodes[n.Rack], n.ID)
+	}
+	built.buildRackCloud()
+	// The tier hierarchy requires every rack to live inside one cloud;
+	// the aggregate fast paths price Definition 1 from that containment.
+	for i, n := range raw.Nodes {
+		if built.rackCloud[n.Rack] != n.Cloud {
+			return fmt.Errorf("topology: node %d places rack %d in cloud %d, rack already in cloud %d",
+				i, n.Rack, n.Cloud, built.rackCloud[n.Rack])
+		}
 	}
 	built.buildFlat()
 	*t = *built
