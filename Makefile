@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-json verify clean
+# Pinned versions of the external analysis tools CI installs; bump
+# deliberately, never track latest.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race vet lint lint-tools fuzz-smoke bench bench-hot bench-json verify clean
 
 all: build
 
@@ -15,6 +20,31 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: the repo's own analyzer suite (detrand, errdrop,
+# maporder, scratchpool — see DESIGN.md §10) plus staticcheck and
+# govulncheck when installed. CI installs the pinned versions via
+# lint-tools; offline checkouts skip the external tools with a notice so
+# `make lint` stays runnable anywhere.
+lint:
+	$(GO) run ./cmd/affinitylint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else echo "lint: staticcheck not installed (CI pins $(STATICCHECK_VERSION)); skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else echo "lint: govulncheck not installed (CI pins $(GOVULNCHECK_VERSION)); skipping"; fi
+
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Native fuzz targets, ~10s each: topology JSON import (reject or
+# round-trip, never panic) and Algorithm 1 placement (capacity respected,
+# evaluator DC(C) matches the row-scan oracle).
+fuzz-smoke:
+	$(GO) test ./internal/topology -run '^$$' -fuzz '^FuzzTopologyImportJSON$$' -fuzztime 10s
+	$(GO) test ./internal/placement -run '^$$' -fuzz '^FuzzPlaceRequest$$' -fuzztime 10s
 
 # Full benchmark suite: every table/figure plus ablations.
 bench:
@@ -32,5 +62,5 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlaceScale' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_placement.json
 	@cat BENCH_placement.json
 
-# The pre-merge gate: build, vet, full tests, and the race detector.
-verify: build vet test race
+# The pre-merge gate: build, vet, lint, full tests, and the race detector.
+verify: build vet lint test race

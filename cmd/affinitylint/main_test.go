@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean is the self-hosting gate: the analyzer suite must come
+// back empty on this repository. Any true positive introduced by a later
+// PR fails here (and in `make lint`) before it can corrupt the
+// byte-identical figure-output contract.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	findings, err := run([]string{"./..."})
+	if err != nil {
+		t.Fatalf("affinitylint failed to run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s: %s", f.Posn, f.Analyzer, f.Message)
+	}
+}

@@ -14,6 +14,7 @@ package cloudsim
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/eventsim"
@@ -335,7 +336,7 @@ func (s *Simulator) migrate(now float64) {
 		ids = append(ids, id)
 	}
 	// Deterministic order for reproducibility.
-	sortInts(ids)
+	slices.Sort(ids)
 	clusters := make([]affinity.Allocation, len(ids))
 	for i, id := range ids {
 		clusters[i] = s.running[id]
@@ -375,14 +376,6 @@ func (s *Simulator) migrate(now float64) {
 			obs.F("type", int(mv.Type)),
 			obs.F("gain", mv.Gain),
 			obs.F("cost_mb", mv.CostMB))
-	}
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
 	}
 }
 

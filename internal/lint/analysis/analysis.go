@@ -1,0 +1,82 @@
+// Package analysis is a self-contained, stdlib-only subset of
+// golang.org/x/tools/go/analysis: just enough surface (Analyzer, Pass,
+// Diagnostic) to write type-aware analyzers without a network dependency.
+// The container that builds this repo has no module proxy access, so the
+// x/tools module cannot be fetched; the shim keeps the same shape so the
+// analyzers can migrate to the real framework by swapping one import.
+//
+// Differences from x/tools kept deliberately small:
+//
+//   - No Facts, no Requires/ResultOf plumbing — each analyzer is
+//     independent and re-inspects the AST itself.
+//   - Packages are loaded by internal/lint/load (go/parser + go/types with
+//     the stdlib source importer) instead of go/packages.
+//   - Suppression comments (//lint:allow <analyzer> <reason>) are handled
+//     by the driver, not here.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by -list.
+	Doc string
+	// Run executes the check against one package and reports diagnostics
+	// through the pass. The non-error return value is unused (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder walks every file of the pass in depth-first preorder, calling
+// fn for each node. The common inspection loop of every analyzer here.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

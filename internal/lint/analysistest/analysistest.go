@@ -1,0 +1,174 @@
+// Package analysistest runs an analyzer against fixture packages under
+// testdata/src and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest with
+// only the standard library.
+//
+// A fixture line may carry several want patterns:
+//
+//	keys = append(keys, k) // want "never sorted" "second diagnostic"
+//
+// Every diagnostic on a line must match one unclaimed want pattern on
+// that line, and every want pattern must be claimed by exactly one
+// diagnostic; anything unmatched fails the test. Fixture packages may
+// import only the standard library (they type-check through the stdlib
+// source importer, with no module resolution).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"affinitycluster/internal/lint/analysis"
+)
+
+// TestData returns the absolute testdata directory of the caller's
+// package, conventionally <pkg>/testdata.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package testdata/src/<name>, applies the
+// analyzer, and verifies the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", name), name, a)
+		})
+	}
+}
+
+type wantPattern struct {
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+// Want patterns may be double-quoted or backquoted (the latter avoids
+// double-escaping regex metacharacters), as in x/tools analysistest.
+var wantRe = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var wantStrRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func runOne(t *testing.T, dir, pkgName string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []*ast.File
+	wants := map[string]map[int][]*wantPattern{} // file -> line -> patterns
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		byLine := map[int][]*wantPattern{}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, qm := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+				pat := qm[1]
+				if qm[2] != "" {
+					pat = qm[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				byLine[i+1] = append(byLine[i+1], &wantPattern{re: re, raw: pat})
+			}
+		}
+		wants[path] = byLine
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", pkgName, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[posn.Filename][posn.Line] {
+			if !w.claimed && w.re.MatchString(d.Message) {
+				w.claimed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var paths []string
+	for p := range wants {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		var lines []int
+		for l := range wants[p] {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			for _, w := range wants[p][l] {
+				if !w.claimed {
+					t.Errorf("%s: no diagnostic matched want %q", fmt.Sprintf("%s:%d", p, l), w.raw)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"affinitycluster/internal/lint/analysistest"
+	"affinitycluster/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "placement", "notsim")
+}

@@ -1,0 +1,12 @@
+// Fixture: a package outside the simulation set; detrand must stay quiet
+// even on calls it would flag elsewhere.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockOK() time.Time { return time.Now() }
+
+func globalRandOK() int { return rand.Intn(10) }

@@ -1,0 +1,101 @@
+// Package errdrop flags error returns from this module's own APIs that
+// are silently discarded — a call used as a bare statement (or behind
+// go/defer) whose callee returns an error. It is a targeted errcheck:
+// standard-library and third-party calls are out of scope, and the
+// explicit `_ = f()` form is treated as a deliberate, reviewable
+// acknowledgment rather than a drop.
+//
+// The obs layer's nil-safe handles (Counter.Inc, Gauge.Set, Emit, …)
+// return no error at all, so they are structurally exempt — the analyzer
+// only considers callees whose signature actually includes an error
+// result, which is what lets it run over instrumented hot paths without
+// false positives.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"affinitycluster/internal/lint/analysis"
+)
+
+// Analyzer is the errdrop rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns from this module's own APIs " +
+		"(bare statement, go, or defer calls)",
+	Run: run,
+}
+
+// firstSegment returns the leading path element, the module identity used
+// to decide whether a callee is "ours".
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return strings.TrimSuffix(path, ".test")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	module := firstSegment(pass.Pkg.Path())
+	check := func(call *ast.CallExpr, how string) {
+		fn := callee(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if firstSegment(fn.Pkg().Path()) != module {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !returnsError(sig) {
+			return
+		}
+		pass.Reportf(call.Pos(), "discarded error from %s.%s%s; handle it or assign to _ explicitly", fn.Pkg().Name(), fn.Name(), how)
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				check(call, "")
+			}
+		case *ast.GoStmt:
+			check(s.Call, " (go statement)")
+		case *ast.DeferStmt:
+			check(s.Call, " (deferred)")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// callee resolves the called function or method, including interface
+// methods (whose *types.Func belongs to the package declaring the
+// interface, e.g. placement.Placer.Place).
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error" && types.IsInterface(t)
+}

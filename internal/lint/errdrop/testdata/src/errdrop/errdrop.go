@@ -1,0 +1,53 @@
+// Fixture for the errdrop analyzer: dropped errors from same-module
+// APIs fire; handled errors, explicit `_ =` acknowledgments, stdlib
+// calls, and obs-style nil-safe handles (no error result) stay clean.
+package errdrop
+
+import (
+	"errors"
+	"os"
+)
+
+func mightFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("x") }
+
+type widget struct{}
+
+func (widget) Close() error { return nil }
+
+// handle mimics an obs nil-safe metric handle: methods return nothing
+// (or a plain value), so there is no error to drop.
+type handle struct{}
+
+func (*handle) Inc()         {}
+func (*handle) Value() int64 { return 0 }
+
+type closer interface {
+	Shutdown() error
+}
+
+func drops(c closer) {
+	mightFail()    // want `discarded error from errdrop\.mightFail`
+	go mightFail() // want `discarded error from errdrop\.mightFail \(go statement\)`
+	var w widget
+	w.Close()    // want `discarded error from errdrop\.Close`
+	c.Shutdown() // want `discarded error from errdrop\.Shutdown`
+}
+
+func deferred() {
+	defer mightFail() // want `discarded error from errdrop\.mightFail \(deferred\)`
+}
+
+func handledOK(h *handle) error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	_ = mightFail() // explicit, reviewable acknowledgment
+	n, err := twoResults()
+	_, _ = n, err
+	os.Remove("x") // stdlib call: outside errdrop's targeted scope
+	h.Inc()        // nil-safe handle, no error result
+	_ = h.Value()
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package lint runs the affinitylint analyzer suite over loaded packages
+// and filters findings through //lint:allow suppression comments. It is
+// the shared driver core behind cmd/affinitylint and the suite's own
+// tests.
+//
+// Suppression syntax, checked on the finding's line or the line directly
+// above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow with no justification is reported as
+// a finding itself, so suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"affinitycluster/internal/lint/analysis"
+	"affinitycluster/internal/lint/load"
+)
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Posn     string         `json:"posn"` // file:line:col, module-relative when possible
+	Message  string         `json:"message"`
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every //lint:allow directive of a file, keyed by
+// the line the directive sits on.
+func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := allowDirective{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package and returns the
+// non-suppressed findings sorted by position then analyzer. Malformed
+// suppression directives (missing analyzer or reason) surface as findings
+// from the synthetic "lintallow" analyzer.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// allowed[file][line] -> set of analyzer names suppressed there.
+		allowed := map[string]map[int]map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, d := range parseAllows(pkg.Fset, f) {
+				posn := pkg.Fset.Position(d.pos)
+				if d.analyzer == "" || d.reason == "" {
+					findings = append(findings, Finding{
+						Analyzer: "lintallow",
+						Pos:      posn,
+						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				byLine := allowed[posn.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					allowed[posn.Filename] = byLine
+				}
+				if byLine[d.line] == nil {
+					byLine[d.line] = map[string]bool{}
+				}
+				byLine[d.line][d.analyzer] = true
+			}
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if byLine := allowed[posn.Filename]; byLine != nil {
+					if byLine[posn.Line][a.Name] || byLine[posn.Line-1][a.Name] {
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for i := range findings {
+		findings[i].Posn = findings[i].Pos.String()
+	}
+	return findings, nil
+}

@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"affinitycluster/internal/lint"
+	"affinitycluster/internal/lint/analysis"
+	"affinitycluster/internal/lint/detrand"
+	"affinitycluster/internal/lint/load"
+)
+
+// writeModule materializes a throwaway single-package module so the real
+// loader pipeline (module discovery, source-importer type-check) is under
+// test, not a mock.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module linttest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "placement")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "code.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runDetrand(t *testing.T, root string) []lint.Finding {
+	t.Helper()
+	pkgs, err := load.Module(root)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{detrand.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+func TestRunReportsFinding(t *testing.T) {
+	root := writeModule(t, `package placement
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`)
+	findings := runDetrand(t, root)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %d: %+v", len(findings), findings)
+	}
+	if findings[0].Analyzer != "detrand" {
+		t.Fatalf("finding analyzer = %q, want detrand", findings[0].Analyzer)
+	}
+}
+
+func TestAllowSameLineSuppresses(t *testing.T) {
+	root := writeModule(t, `package placement
+
+import "time"
+
+func now() time.Time { return time.Now() } //lint:allow detrand wall clock needed for operator-facing log banner
+`)
+	if findings := runDetrand(t, root); len(findings) != 0 {
+		t.Fatalf("want suppression, got %+v", findings)
+	}
+}
+
+func TestAllowLineAboveSuppresses(t *testing.T) {
+	root := writeModule(t, `package placement
+
+import "time"
+
+func now() time.Time {
+	//lint:allow detrand wall clock needed for operator-facing log banner
+	return time.Now()
+}
+`)
+	if findings := runDetrand(t, root); len(findings) != 0 {
+		t.Fatalf("want suppression, got %+v", findings)
+	}
+}
+
+func TestAllowWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	root := writeModule(t, `package placement
+
+import "time"
+
+func now() time.Time {
+	//lint:allow maporder reason that names the wrong analyzer
+	return time.Now()
+}
+`)
+	if findings := runDetrand(t, root); len(findings) != 1 {
+		t.Fatalf("want 1 finding despite mismatched allow, got %+v", findings)
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	root := writeModule(t, `package placement
+
+//lint:allow detrand
+func ok() {}
+`)
+	findings := runDetrand(t, root)
+	if len(findings) != 1 || findings[0].Analyzer != "lintallow" {
+		t.Fatalf("want one lintallow finding for reason-less allow, got %+v", findings)
+	}
+}

@@ -1,0 +1,221 @@
+// Package load enumerates and type-checks every package of this module
+// using only the standard library: go/parser for syntax and go/types with
+// the "source" compiler importer (go/importer) for type information. It is
+// the package-loading half of the affinitylint driver, replacing
+// golang.org/x/tools/go/packages, which cannot be vendored in this
+// offline build environment.
+//
+// In-package _test.go files are checked together with their package, the
+// way `go test` compiles them, so test helpers are linted too. External
+// test packages (package foo_test) are loaded as their own unit with the
+// import path "<pkgpath>.test".
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked compilation unit.
+type Package struct {
+	// PkgPath is the import path ("affinitycluster/internal/obs"); external
+	// test packages get the synthetic suffix ".test".
+	PkgPath string
+	// Dir is the absolute directory holding the sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ModuleRoot walks up from dir to the nearest directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s/go.mod", root)
+}
+
+// Dirs lists every directory under root that contains .go files, skipping
+// testdata, hidden directories, and the examples tree's per-example
+// modules if any. Paths come back sorted for deterministic driver output.
+func Dirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Loader type-checks packages with one shared FileSet and importer so the
+// transitive standard library is checked at most once per process.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader builds a loader backed by the stdlib source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses and type-checks the package in dir (plus its in-package
+// test files) and, when present, the external test package. pkgPath is the
+// import path to assign the primary package.
+func (ld *Loader) LoadDir(dir, pkgPath string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Group files by declared package name: the primary package (which
+	// absorbs same-name _test.go files) and at most one foo_test package.
+	byName := map[string][]*ast.File{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var out []*Package
+	for _, name := range names {
+		path := pkgPath
+		if strings.HasSuffix(name, "_test") {
+			path += ".test"
+		}
+		pkg, err := ld.check(path, dir, byName[name])
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func (ld *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: ld.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(strings.TrimSuffix(pkgPath, ".test"), ld.Fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: ld.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Module loads every package of the module rooted at root. The import
+// path of each directory is modulePath + the slash-relative directory.
+func Module(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := Dirs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := NewLoader()
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		loaded, err := ld.LoadDir(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"affinitycluster/internal/lint/analysistest"
+	"affinitycluster/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "maporder")
+}

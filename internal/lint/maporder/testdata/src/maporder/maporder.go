@@ -1,0 +1,106 @@
+// Fixture for the maporder analyzer: every way map iteration order can
+// leak into deterministic-output paths, plus the sanctioned
+// collect-then-sort idioms that must stay clean.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys, which is never sorted`
+	}
+	return keys
+}
+
+func sortedAppendOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func leakDerived(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		s := k + "!"
+		out = append(out, s) // want `slice out, which is never sorted`
+	}
+	return out
+}
+
+func leakBuilder(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		sb.WriteString(fmt.Sprintf("%s=%d;", k, v)) // want `escapes through sb\.WriteString`
+	}
+}
+
+func leakFprintf(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		fmt.Fprintf(sb, "%s\n", k) // want `escapes through fmt\.Fprintf`
+	}
+}
+
+func leakChan(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `escapes into a channel send`
+	}
+}
+
+func leakEncoder(m map[string]int, enc *json.Encoder) {
+	for k := range m {
+		_ = enc.Encode(k) // want `escapes through enc\.Encode`
+	}
+}
+
+func leakFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration order`
+	}
+	return sum
+}
+
+func intSumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition commutes; order cannot show
+	}
+	return total
+}
+
+func mapToMapOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func constantWriteOK(m map[string]int, sb *strings.Builder) {
+	for range m {
+		sb.WriteString(".") // order-independent: same bytes every iteration
+	}
+}
+
+func sliceRangeOK(xs []string, sb *strings.Builder) {
+	for _, x := range xs {
+		sb.WriteString(x) // slice iteration is ordered; not a map
+	}
+}

@@ -1,0 +1,106 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// FuzzPlaceRequest drives Algorithm 1 with arbitrary plant shapes,
+// capacity matrices, and requests. Invariants (DESIGN.md §10): Place
+// never panics, never mutates the capacity snapshot L, and every
+// successful allocation (a) satisfies the request within L, and (b) has a
+// DC(C) on which the tier-aggregated DistanceEvaluator and the plain
+// row-scan oracle Allocation.DistanceFrom agree exactly, including the
+// lowest-ID center tie-break.
+func FuzzPlaceRequest(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(3), uint8(10), uint8(4), []byte{3, 2})
+	f.Add(int64(7), uint8(2), uint8(2), uint8(3), uint8(6), []byte{1, 0, 5})
+	f.Add(int64(42), uint8(3), uint8(4), uint8(5), uint8(1), []byte{9})
+	f.Add(int64(0), uint8(1), uint8(1), uint8(1), uint8(2), []byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, seed int64, clouds, racksPer, nodesPer, capMax uint8, reqBytes []byte) {
+		nc := 1 + int(clouds)%3
+		nr := 1 + int(racksPer)%4
+		nn := 1 + int(nodesPer)%5
+		tp, err := topology.Uniform(nc, nr, nn, topology.DefaultDistances())
+		if err != nil {
+			t.Fatalf("Uniform(%d,%d,%d): %v", nc, nr, nn, err)
+		}
+		n := tp.Nodes()
+		if len(reqBytes) == 0 {
+			reqBytes = []byte{0}
+		}
+		if len(reqBytes) > 4 {
+			reqBytes = reqBytes[:4]
+		}
+		m := len(reqBytes)
+		r := make(model.Request, m)
+		for j, b := range reqBytes {
+			r[j] = int(b % 11)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		l := make([][]int, n)
+		snapshot := make([][]int, n)
+		for i := range l {
+			l[i] = make([]int, m)
+			snapshot[i] = make([]int, m)
+			for j := range l[i] {
+				l[i][j] = rng.Intn(1 + int(capMax)%8)
+				snapshot[i][j] = l[i][j]
+			}
+		}
+
+		h := &OnlineHeuristic{Rand: rand.New(rand.NewSource(seed))}
+		alloc, err := h.Place(tp, l, r)
+
+		// L is a read-only snapshot in all outcomes.
+		for i := range l {
+			for j := range l[i] {
+				if l[i][j] != snapshot[i][j] {
+					t.Fatalf("Place mutated L[%d][%d]: %d -> %d", i, j, snapshot[i][j], l[i][j])
+				}
+			}
+		}
+		if err != nil {
+			return // infeasible or rejected: acceptable
+		}
+		// (a) The allocation satisfies r without exceeding any L_ij.
+		if verr := alloc.Validate(r, l); verr != nil {
+			t.Fatalf("accepted allocation violates capacity/request: %v\nalloc %v\nreq %v", verr, alloc, r)
+		}
+		// (b) Tier-aggregated evaluator vs row-scan oracle. The DC(C)
+		// value is Definition 1's minimum over every candidate center;
+		// the reported center tie-breaks toward the lowest ID among
+		// hosting nodes (where the minimum is always attained).
+		ev := affinity.NewDistanceEvaluator(tp, alloc)
+		bestD := 0.0
+		for k := 0; k < n; k++ {
+			id := topology.NodeID(k)
+			oracle := alloc.DistanceFrom(tp, id)
+			if got := ev.DistanceFrom(id); got != oracle {
+				t.Fatalf("DistanceFrom(%d) = %v, row-scan oracle %v\nalloc %v", k, got, oracle, alloc)
+			}
+			if k == 0 || oracle < bestD {
+				bestD = oracle
+			}
+		}
+		bestK := topology.NodeID(-1)
+		for _, id := range alloc.HostingNodes() {
+			if alloc.DistanceFrom(tp, id) == bestD {
+				bestK = id
+				break
+			}
+		}
+		if alloc.IsEmpty() {
+			bestD, bestK = 0, -1
+		}
+		gotD, gotK := ev.Distance()
+		if gotD != bestD || gotK != bestK {
+			t.Fatalf("Distance() = (%v, %d), oracle (%v, %d)\nalloc %v", gotD, gotK, bestD, bestK, alloc)
+		}
+	})
+}

@@ -376,6 +376,17 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 	if len(raw.Nodes) == 0 {
 		return errors.New("topology: decoded plant has no nodes")
 	}
+	// Bound the declared tier counts before they size any allocation: a
+	// hostile or corrupt document could otherwise drive make() with a
+	// negative or multi-gigabyte length (found by FuzzTopologyImportJSON).
+	// Imported plants are dense — every rack and cloud holds at least one
+	// node — so node count bounds both.
+	if raw.Racks <= 0 || raw.Racks > len(raw.Nodes) {
+		return fmt.Errorf("topology: rack count %d out of range [1,%d]", raw.Racks, len(raw.Nodes))
+	}
+	if raw.Clouds <= 0 || raw.Clouds > raw.Racks {
+		return fmt.Errorf("topology: cloud count %d out of range [1,%d]", raw.Clouds, raw.Racks)
+	}
 	built := &Topology{
 		nodes:     raw.Nodes,
 		dist:      raw.Distances,
