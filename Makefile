@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools fuzz-smoke bench bench-hot bench-json verify clean
+.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race bench bench-hot bench-json verify clean
 
 all: build
 
@@ -45,6 +45,13 @@ lint-tools:
 fuzz-smoke:
 	$(GO) test ./internal/topology -run '^$$' -fuzz '^FuzzTopologyImportJSON$$' -fuzztime 10s
 	$(GO) test ./internal/placement -run '^$$' -fuzz '^FuzzPlaceRequest$$' -fuzztime 10s
+
+# Fault-injection gate: the fault/recovery tests under the race detector
+# plus one seeded end-to-end faults figure, so every recovery path runs
+# race-checked on each change.
+faults-race:
+	$(GO) test -race ./internal/faults ./internal/cloudsim ./internal/experiments -run 'Fault|Crash|Teardown|Recovery'
+	$(GO) run -race ./cmd/affinitysim -fig faults > /dev/null
 
 # Full benchmark suite: every table/figure plus ablations.
 bench:

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|all]
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|all]
+//	            [-mtbf N] [-mttr N]
 //	            [-metrics out.json] [-trace out.jsonl] [-pprof addr]
 package main
 
@@ -23,7 +24,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
-	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, or all")
+	mtbf := flag.Float64("mtbf", 0, "faults figure: mean time between failures (0 = scenario default)")
+	mttr := flag.Float64("mttr", 0, "faults figure: mean time to repair (0 = scenario default)")
 	metricsPath := flag.String("metrics", "", "write the ops scenario's JSON metric snapshot to this file")
 	tracePath := flag.String("trace", "", "write the ops scenario's JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -37,13 +40,13 @@ func main() {
 		}()
 	}
 
-	if err := run(os.Stdout, *seed, *fig, *metricsPath, *tracePath); err != nil {
+	if err := run(os.Stdout, *seed, *fig, *metricsPath, *tracePath, *mtbf, *mttr); err != nil {
 		fmt.Fprintln(os.Stderr, "affinitysim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, seed int64, fig, metricsPath, tracePath string) error {
+func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr float64) error {
 	want := func(f string) bool { return fig == "all" || fig == f }
 	if want("2") {
 		res, err := experiments.Fig2(seed)
@@ -81,8 +84,9 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string) error {
 		fmt.Fprintln(w, res.Render())
 	}
 	// The ops scenario is the metrics/trace producer; force it when an
-	// export was requested even if -fig selects only classic figures.
-	if want("ops") || metricsPath != "" || tracePath != "" {
+	// export was requested even if -fig selects only classic figures
+	// (the faults figure is its own producer and takes over the exports).
+	if want("ops") || (fig != "faults" && (metricsPath != "" || tracePath != "")) {
 		res, err := experiments.Ops(seed, experiments.DefaultOpsConfig(seed))
 		if err != nil {
 			return err
@@ -99,7 +103,34 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string) error {
 			}
 		}
 	}
-	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops"}, fig) {
+	// The faults figure is deliberately NOT part of -fig all: the classic
+	// figures stay byte-identical to fault-free builds, and fault runs are
+	// an explicit opt-in.
+	if fig == "faults" {
+		cfg := experiments.DefaultFaultsConfig(seed)
+		if mtbf > 0 {
+			cfg.Faults.MTBF = mtbf
+		}
+		if mttr > 0 {
+			cfg.Faults.MTTR = mttr
+		}
+		res, err := experiments.Faults(seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Render())
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, res.WriteMetrics); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		if tracePath != "" {
+			if err := writeFile(tracePath, res.WriteTrace); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+		}
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults"}, fig) {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil

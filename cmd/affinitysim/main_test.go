@@ -11,21 +11,21 @@ import (
 )
 
 func TestRunAllFigures(t *testing.T) {
-	if err := run(io.Discard, 2012, "all", "", ""); err != nil {
+	if err := run(io.Discard, 2012, "all", "", "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
 	for _, fig := range []string{"2", "3", "4", "5", "6"} {
-		if err := run(io.Discard, 7, fig, "", ""); err != nil {
+		if err := run(io.Discard, 7, fig, "", "", 0, 0); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(io.Discard, 7, "9", "", ""); err == nil {
+	if err := run(io.Discard, 7, "9", "", "", 0, 0); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -35,7 +35,7 @@ func TestOpsExportsAllMetricFamilies(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 	trace := filepath.Join(dir, "trace.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, 2012, "ops", metrics, trace); err != nil {
+	if err := run(&out, 2012, "ops", metrics, trace, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Ops scenario") {
@@ -83,7 +83,7 @@ func TestOpsExportsDeterministic(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		m := filepath.Join(dir, "m"+string(rune('0'+i))+".json")
 		tr := filepath.Join(dir, "t"+string(rune('0'+i))+".jsonl")
-		if err := run(io.Discard, 4242, "ops", m, tr); err != nil {
+		if err := run(io.Discard, 4242, "ops", m, tr, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 		paths[i] = [2]string{m, tr}
@@ -107,10 +107,47 @@ func TestOpsExportsDeterministic(t *testing.T) {
 // classic figure.
 func TestMetricsFlagForcesOps(t *testing.T) {
 	metrics := filepath.Join(t.TempDir(), "m.json")
-	if err := run(io.Discard, 7, "2", metrics, ""); err != nil {
+	if err := run(io.Discard, 7, "2", metrics, "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(metrics); err != nil {
 		t.Errorf("metrics file not written: %v", err)
+	}
+}
+
+// The faults figure renders its headline, honours the MTBF/MTTR
+// overrides, and takes over the exports from ops.
+func TestRunFaultsFigure(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.jsonl")
+	var out bytes.Buffer
+	if err := run(&out, 2012, "faults", metrics, trace, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Faults scenario.") {
+		t.Errorf("faults render missing headline:\n%s", out.String())
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"kind":"fault"`, `"kind":"repair"`, `"kind":"recover"`} {
+		if !strings.Contains(string(tr), kind) {
+			t.Errorf("faults trace missing event %s", kind)
+		}
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Errorf("metrics file not written: %v", err)
+	}
+
+	// A huge MTBF relative to the horizon yields an empty schedule but a
+	// still-valid run.
+	out.Reset()
+	if err := run(&out, 2012, "faults", "", "", 1e6, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "injected 0 failures") {
+		t.Errorf("quiet-MTBF run still injected failures:\n%s", out.String())
 	}
 }

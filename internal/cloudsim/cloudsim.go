@@ -14,10 +14,12 @@ package cloudsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/eventsim"
+	"affinitycluster/internal/faults"
 	"affinitycluster/internal/inventory"
 	"affinitycluster/internal/migration"
 	"affinitycluster/internal/model"
@@ -53,12 +55,53 @@ type Config struct {
 	// long the resources will be occupied") instead of demanding
 	// immediate service. Usually combined with Batch.
 	BatchWindow float64
+	// Faults, when enabled, injects the deterministic crash/repair
+	// schedule of package faults into the run: failed nodes lose their
+	// capacity and the VMs they host, and affected clusters are
+	// recovered by evacuation or requeue (see internal/cloudsim/faults.go).
+	// The zero value disables injection and leaves every code path of
+	// the fault-free simulation untouched.
+	Faults faults.Config
+	// FaultSeed seeds the fault schedule, independent of workload seeds.
+	FaultSeed int64
+	// Recovery tunes the requeue-with-backoff policy for clusters that
+	// cannot be evacuated after a failure.
+	Recovery RecoveryConfig
 	// Obs, when non-nil, receives per-decision telemetry: placement
 	// events with chosen center and DC, queue admit/reject/wait,
 	// migration moves with gain and traffic, plus counters, gauges, and
 	// wait/DC histograms. All timestamps are eventsim virtual time, so
 	// instrumented runs stay deterministic. Nil costs nothing.
 	Obs *obs.Registry
+}
+
+// RecoveryConfig tunes how a cluster torn down by a failure is re-placed
+// when in-place evacuation is impossible: direct placement is retried
+// with exponential backoff, and once attempts are exhausted the victim is
+// parked at the head of the wait queue (keeping its original arrival
+// time) so a later drain — typically after the repair — can still serve
+// it.
+type RecoveryConfig struct {
+	// MaxAttempts caps direct re-placement attempts (0 = 4).
+	MaxAttempts int
+	// Backoff is the delay before the first retry, simulation seconds
+	// (0 = 30).
+	Backoff float64
+	// Factor multiplies the delay after each failed attempt (0 = 2).
+	Factor float64
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 30
+	}
+	if c.Factor <= 0 {
+		c.Factor = 2
+	}
+	return c
 }
 
 // Metrics aggregates one simulation run.
@@ -83,6 +126,19 @@ type Metrics struct {
 	// FinalDistanceSum is Σ DC over clusters at their departure — with
 	// migration enabled it reflects post-migration placements.
 	FinalDistanceSum float64
+	// Failures counts injected crash/outage events; LostVMs the VMs they
+	// destroyed. Evacuations counts degraded clusters rebuilt in place,
+	// Requeued clusters torn down for whole-cluster re-placement,
+	// Replacements the requeued clusters eventually re-served, and
+	// RetriesExhausted victims whose direct re-placement attempts all
+	// failed (they fall back to the wait queue). All zero when fault
+	// injection is disabled.
+	Failures         int
+	LostVMs          int
+	Evacuations      int
+	Requeued         int
+	Replacements     int
+	RetriesExhausted int
 }
 
 // Simulator runs one scenario.
@@ -98,10 +154,18 @@ type Simulator struct {
 	mig    *migration.Planner
 
 	arrivals map[model.RequestID]float64
-	running  map[int]affinity.Allocation // live clusters by registry ID
-	reqOf    map[int]model.RequestID     // registry ID → original request
+	running  map[int]affinity.Allocation  // live clusters by registry ID
+	reqOf    map[int]model.TimedRequest   // registry ID → original request
+	departEv map[int]*eventsim.Event      // registry ID → scheduled departure
+	slot     map[int]int                  // registry ID → index into Distances/Waits
 	nextRun  int
 	metrics  Metrics
+
+	// Fault state: the precomputed schedule and, per torn-down request,
+	// the failure time — consumed when the victim is re-served so
+	// time-to-recovery can be observed.
+	faultPlan       []faults.Event
+	pendingRecovery map[model.RequestID]float64
 
 	drainPending bool // a BatchWindow drain is already scheduled
 
@@ -121,15 +185,20 @@ type Simulator struct {
 // simMetrics are the resolved obs handles of one simulator; the zero
 // value (uninstrumented) no-ops everywhere.
 type simMetrics struct {
-	served          *obs.Counter
-	rejected        *obs.Counter
-	releaseFailures *obs.Counter
-	migrationMoves  *obs.Counter
-	migrationAborts *obs.Counter
-	running         *obs.Gauge
-	usedSlots       *obs.Gauge
-	waitSeconds     *obs.Histogram
-	placementDC     *obs.Histogram
+	served           *obs.Counter
+	rejected         *obs.Counter
+	releaseFailures  *obs.Counter
+	migrationMoves   *obs.Counter
+	migrationAborts  *obs.Counter
+	faults           *obs.Counter
+	evacuations      *obs.Counter
+	replacements     *obs.Counter
+	retriesExhausted *obs.Counter
+	running          *obs.Gauge
+	usedSlots        *obs.Gauge
+	waitSeconds      *obs.Histogram
+	placementDC      *obs.Histogram
+	recoverySeconds  *obs.Histogram
 }
 
 // New builds a simulator over a topology, a live inventory, and a
@@ -142,30 +211,50 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 		return nil, errors.New("cloudsim: nil placer")
 	}
 	s := &Simulator{
-		topo:     tp,
-		inv:      inv,
-		placer:   placer,
-		cfg:      cfg,
-		engine:   eventsim.New(),
-		queue:    queue.New(cfg.Policy, cfg.QueueCap),
-		global:   &placement.GlobalSubOpt{Obs: cfg.Obs},
-		mig:      &migration.Planner{Config: cfg.Migration, Obs: cfg.Obs},
-		arrivals: make(map[model.RequestID]float64),
-		running:  make(map[int]affinity.Allocation),
-		reqOf:    make(map[int]model.RequestID),
+		topo:            tp,
+		inv:             inv,
+		placer:          placer,
+		cfg:             cfg,
+		engine:          eventsim.New(),
+		queue:           queue.New(cfg.Policy, cfg.QueueCap),
+		global:          &placement.GlobalSubOpt{Obs: cfg.Obs},
+		mig:             &migration.Planner{Config: cfg.Migration, Obs: cfg.Obs},
+		arrivals:        make(map[model.RequestID]float64),
+		running:         make(map[int]affinity.Allocation),
+		reqOf:           make(map[int]model.TimedRequest),
+		departEv:        make(map[int]*eventsim.Event),
+		slot:            make(map[int]int),
+		pendingRecovery: make(map[model.RequestID]float64),
+	}
+	if cfg.Faults.Enabled() {
+		plan, err := faults.Plan(cfg.FaultSeed, tp, cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("cloudsim: fault schedule: %w", err)
+		}
+		s.faultPlan = plan
 	}
 	s.queue.Instrument(cfg.Obs)
 	if cfg.Obs != nil {
 		s.om = simMetrics{
-			served:          cfg.Obs.Counter("cloudsim.served"),
-			rejected:        cfg.Obs.Counter("cloudsim.rejected"),
-			releaseFailures: cfg.Obs.Counter("cloudsim.release_failures"),
-			migrationMoves:  cfg.Obs.Counter("cloudsim.migration_moves"),
-			migrationAborts: cfg.Obs.Counter("cloudsim.migration_aborted"),
-			running:         cfg.Obs.Gauge("cloudsim.running_clusters"),
-			usedSlots:       cfg.Obs.Gauge("cloudsim.used_slots"),
-			waitSeconds:     cfg.Obs.Histogram("cloudsim.wait_seconds", 0, 200, 20),
-			placementDC:     cfg.Obs.Histogram("cloudsim.placement_dc", 0, 200, 20),
+			served:           cfg.Obs.Counter("cloudsim.served"),
+			rejected:         cfg.Obs.Counter("cloudsim.rejected"),
+			releaseFailures:  cfg.Obs.Counter("cloudsim.release_failures"),
+			migrationMoves:   cfg.Obs.Counter("cloudsim.migration_moves"),
+			migrationAborts:  cfg.Obs.Counter("cloudsim.migration_aborted"),
+			running:          cfg.Obs.Gauge("cloudsim.running_clusters"),
+			usedSlots:        cfg.Obs.Gauge("cloudsim.used_slots"),
+			waitSeconds:      cfg.Obs.Histogram("cloudsim.wait_seconds", 0, 200, 20),
+			placementDC:      cfg.Obs.Histogram("cloudsim.placement_dc", 0, 200, 20),
+		}
+		if cfg.Faults.Enabled() {
+			// Fault metrics are registered only for fault scenarios so
+			// fault-free runs keep their exact metric snapshots (the
+			// handles are nil-safe either way).
+			s.om.faults = cfg.Obs.Counter("cloudsim.faults")
+			s.om.evacuations = cfg.Obs.Counter("cloudsim.fault_evacuations")
+			s.om.replacements = cfg.Obs.Counter("cloudsim.fault_replacements")
+			s.om.retriesExhausted = cfg.Obs.Counter("cloudsim.fault_retries_exhausted")
+			s.om.recoverySeconds = cfg.Obs.Histogram("cloudsim.recovery_seconds", 0, 1000, 20)
 		}
 	}
 	caps := inv.CapacityMatrix()
@@ -183,10 +272,33 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 // (a departure whose release does not fit the inventory) aborts the run
 // and is returned as an error instead of panicking.
 func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
+	seen := make(map[model.RequestID]bool, len(reqs))
 	for _, r := range reqs {
 		r := r
+		if !validRequest(r) || seen[r.ID] {
+			// Malformed or duplicate input is accounted for, not silently
+			// dropped, so conservation still holds over the input slice.
+			s.reject(r, 0, "invalid")
+			continue
+		}
+		seen[r.ID] = true
 		if _, err := s.engine.At(r.Arrival, func(now float64) { s.arrive(r, now) }); err != nil {
 			return nil, fmt.Errorf("cloudsim: scheduling arrival of request %d: %w", r.ID, err)
+		}
+	}
+	// Fault events are scheduled after all arrivals so that, at equal
+	// timestamps, arrivals are processed first — part of the determinism
+	// contract.
+	for _, ev := range s.faultPlan {
+		ev := ev
+		var err error
+		if ev.Kind == faults.Repair {
+			_, err = s.engine.At(ev.Time, func(now float64) { s.repair(ev, now) })
+		} else {
+			_, err = s.engine.At(ev.Time, func(now float64) { s.crash(ev, now) })
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cloudsim: scheduling fault %d: %w", ev.FailureID, err)
 		}
 	}
 	for s.failed == nil && s.engine.Step() {
@@ -200,7 +312,29 @@ func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
 		s.metrics.UtilizationAvg = s.utilArea / (s.metrics.MakeSpan * float64(s.totalSlots))
 	}
 	s.metrics.Unplaced = s.queue.Len()
+	// Every admitted request must end up served, rejected, or still
+	// queued; a leftover arrival entry would mean one was silently lost.
+	if len(s.arrivals) != s.metrics.Unplaced {
+		return nil, fmt.Errorf("cloudsim: accounting leak: %d pending arrival entries, %d unplaced requests",
+			len(s.arrivals), s.metrics.Unplaced)
+	}
 	return &s.metrics, nil
+}
+
+// validRequest filters inputs the engine or the accounting cannot
+// represent: non-finite or negative times and negative demand entries.
+func validRequest(r model.TimedRequest) bool {
+	for _, t := range []float64{r.Arrival, r.Hold} {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return false
+		}
+	}
+	for _, v := range r.Vector {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // sampleUtilization integrates slot usage up to now.
@@ -227,10 +361,13 @@ func (s *Simulator) arrive(r model.TimedRequest, now float64) {
 		s.cfg.Obs.Emit("queue_admit", now, obs.F("req", int(r.ID)))
 		if !s.drainPending {
 			s.drainPending = true
-			_, _ = s.engine.After(s.cfg.BatchWindow, func(at float64) {
+			_, err := s.engine.After(s.cfg.BatchWindow, func(at float64) {
 				s.drainPending = false
 				s.drain(at)
 			})
+			if err != nil {
+				s.fail(fmt.Errorf("cloudsim: scheduling batch-window drain: %w", err))
+			}
 		}
 		return
 	}
@@ -246,21 +383,39 @@ func (s *Simulator) arrive(r model.TimedRequest, now float64) {
 	s.cfg.Obs.Emit("queue_admit", now, obs.F("req", int(r.ID)))
 }
 
+// fail aborts the run at the next event-loop step, keeping the first
+// error.
+func (s *Simulator) fail(err error) {
+	if s.failed == nil {
+		s.failed = err
+	}
+}
+
 // reject records one turned-away arrival.
 func (s *Simulator) reject(r model.TimedRequest, now float64, reason string) {
+	delete(s.arrivals, r.ID)
 	s.metrics.Rejected++
 	s.om.rejected.Inc()
 	s.cfg.Obs.Emit("queue_reject", now, obs.F("req", int(r.ID)), obs.F("reason", reason))
 }
 
 // place provisions a single request right now; returns false if the
-// placer could not fit it (so it should queue instead).
+// placer could not fit it (so it should queue instead). Only the
+// ErrInsufficient sentinels mean "does not fit" — any other placer or
+// inventory error is a bug and aborts the run instead of being
+// misread as a full cloud.
 func (s *Simulator) place(r model.TimedRequest, now float64) bool {
 	alloc, err := s.placer.Place(s.topo, s.inv.Remaining(), r.Vector)
 	if err != nil {
+		if !errors.Is(err, placement.ErrInsufficient) {
+			s.fail(fmt.Errorf("cloudsim: placer %s on request %d: %w", s.placer.Name(), r.ID, err))
+		}
 		return false
 	}
 	if err := s.inv.Allocate([][]int(alloc)); err != nil {
+		if !errors.Is(err, inventory.ErrInsufficient) {
+			s.fail(fmt.Errorf("cloudsim: allocating request %d: %w", r.ID, err))
+		}
 		return false
 	}
 	s.commission(r, alloc, now)
@@ -273,14 +428,16 @@ func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, 
 	s.usedSlots += alloc.TotalVMs()
 	d, center := alloc.Distance(s.topo)
 	wait := now - s.arrivals[r.ID]
+	delete(s.arrivals, r.ID)
 	s.metrics.Served++
-	s.metrics.Distances = append(s.metrics.Distances, d)
-	s.metrics.TotalDistance += d
-	s.metrics.Waits = append(s.metrics.Waits, wait)
 	id := s.nextRun
 	s.nextRun++
 	s.running[id] = alloc
-	s.reqOf[id] = r.ID
+	s.reqOf[id] = r
+	s.slot[id] = len(s.metrics.Distances)
+	s.metrics.Distances = append(s.metrics.Distances, d)
+	s.metrics.TotalDistance += d
+	s.metrics.Waits = append(s.metrics.Waits, wait)
 	s.om.served.Inc()
 	s.om.waitSeconds.Observe(wait)
 	s.om.placementDC.Observe(d)
@@ -292,19 +449,37 @@ func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, 
 		obs.F("dc", d),
 		obs.F("vms", alloc.TotalVMs()),
 		obs.F("wait", wait))
-	_, _ = s.engine.After(r.Hold, func(at float64) { s.depart(id, at) })
+	if failAt, ok := s.pendingRecovery[r.ID]; ok {
+		// A cluster torn down by a failure is back in service.
+		delete(s.pendingRecovery, r.ID)
+		s.metrics.Replacements++
+		s.om.replacements.Inc()
+		s.om.recoverySeconds.Observe(now - failAt)
+		s.cfg.Obs.Emit("recover", now,
+			obs.F("req", int(r.ID)),
+			obs.F("method", "requeue"),
+			obs.F("delay", now-failAt))
+	}
+	ev, err := s.engine.After(r.Hold, func(at float64) { s.depart(id, at) })
+	if err != nil {
+		s.fail(fmt.Errorf("cloudsim: scheduling departure of cluster %d: %w", id, err))
+		return
+	}
+	s.departEv[id] = ev
 }
 
 func (s *Simulator) depart(id int, now float64) {
 	alloc := s.running[id]
 	delete(s.running, id)
+	delete(s.departEv, id)
+	delete(s.slot, id)
 	s.sampleUtilization(now)
 	s.usedSlots -= alloc.TotalVMs()
 	d, _ := alloc.Distance(s.topo)
 	s.metrics.FinalDistanceSum += d
 	s.om.running.Set(float64(len(s.running)))
 	s.om.usedSlots.Set(float64(s.usedSlots))
-	s.cfg.Obs.Emit("depart", now, obs.F("req", int(s.reqOf[id])), obs.F("dc", d))
+	s.cfg.Obs.Emit("depart", now, obs.F("req", int(s.reqOf[id].ID)), obs.F("dc", d))
 	delete(s.reqOf, id)
 	if err := s.inv.Release([][]int(alloc)); err != nil {
 		// A release failure means the simulator corrupted its own
@@ -354,6 +529,9 @@ func (s *Simulator) migrate(now float64) {
 		case migration.Relocate:
 			if err := s.inv.Move(mv.From, mv.To, mv.Type); err != nil {
 				s.om.migrationAborts.Inc()
+				s.cfg.Obs.Emit("migration_abort", now,
+					obs.F("cluster", ids[mv.Cluster]),
+					obs.F("error", err.Error()))
 				return
 			}
 			c.Remove(mv.From, mv.Type)
@@ -400,11 +578,11 @@ func (s *Simulator) drain(now float64) {
 			for i, alloc := range res.Allocs {
 				if alloc == nil {
 					// Lost a race against capacity; requeue.
-					_ = s.queue.Enqueue(taken[i])
+					s.requeue(taken[i], now)
 					continue
 				}
 				if err := s.inv.Allocate([][]int(alloc)); err != nil {
-					_ = s.queue.Enqueue(taken[i])
+					s.requeue(taken[i], now)
 					continue
 				}
 				s.commission(taken[i], alloc, now)
@@ -414,7 +592,18 @@ func (s *Simulator) drain(now float64) {
 	}
 	for _, r := range taken {
 		if !s.place(r, now) {
-			_ = s.queue.Enqueue(r)
+			s.requeue(r, now)
 		}
+	}
+}
+
+// requeue returns a not-served request to the tail of the wait queue. A
+// bounded queue can refuse it (capacity was consumed between the take
+// and the put-back); that request is then counted as rejected instead
+// of silently vanishing from the accounting.
+func (s *Simulator) requeue(r model.TimedRequest, now float64) {
+	if err := s.queue.Enqueue(r); err != nil {
+		delete(s.pendingRecovery, r.ID)
+		s.reject(r, now, "requeue_full")
 	}
 }

@@ -62,6 +62,7 @@ func TestImmediateServiceAndRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 2)
 	if m.Served != 2 || m.Rejected != 0 || m.Unplaced != 0 {
 		t.Fatalf("metrics = %+v", m)
 	}
@@ -88,6 +89,7 @@ func TestOversizedRequestRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 1)
 	if m.Rejected != 1 || m.Served != 0 {
 		t.Fatalf("metrics = %+v", m)
 	}
@@ -105,6 +107,7 @@ func TestQueueingAndDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 2)
 	if m.Served != 2 {
 		t.Fatalf("metrics = %+v", m)
 	}
@@ -127,6 +130,7 @@ func TestQueueCapRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 3)
 	if m.Rejected != 1 || m.Served != 2 {
 		t.Fatalf("metrics = %+v", m)
 	}
@@ -160,6 +164,7 @@ func TestBatchModeServesBacklog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 4)
 	if m.Served != 4 || m.Unplaced != 0 {
 		t.Fatalf("metrics = %+v", m)
 	}
@@ -182,6 +187,7 @@ func TestStrictModeHeadBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	conserve(t, m, 3)
 	if m.Served != 3 {
 		t.Fatalf("metrics = %+v", m)
 	}

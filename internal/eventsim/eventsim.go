@@ -8,6 +8,7 @@ package eventsim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Event is one scheduled callback.
@@ -41,9 +42,15 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() int { return e.runs }
 
-// At schedules fn at absolute virtual time t, which must not precede the
-// current clock. It returns a handle usable with Cancel.
+// At schedules fn at absolute virtual time t, which must be finite and
+// must not precede the current clock. It returns a handle usable with
+// Cancel.
 func (e *Engine) At(t float64, fn func(now float64)) (*Event, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		// A NaN would slip past the ordering checks below (every
+		// comparison is false) and silently corrupt the heap order.
+		return nil, fmt.Errorf("eventsim: non-finite event time %v", t)
+	}
 	if t < e.now {
 		return nil, fmt.Errorf("eventsim: cannot schedule at %v, clock is at %v", t, e.now)
 	}

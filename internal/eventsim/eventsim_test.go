@@ -1,6 +1,7 @@
 package eventsim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -262,5 +263,20 @@ func TestQuickCascade(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestNonFiniteTimesRejected(t *testing.T) {
+	e := New()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := e.At(bad, func(float64) {}); err == nil {
+			t.Errorf("At(%v) accepted", bad)
+		}
+		if _, err := e.After(bad, func(float64) {}); err == nil {
+			t.Errorf("After(%v) accepted", bad)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("heap polluted: %d pending", e.Pending())
 	}
 }

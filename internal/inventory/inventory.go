@@ -11,6 +11,7 @@ package inventory
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"affinitycluster/internal/model"
@@ -32,6 +33,9 @@ type Inventory struct {
 	remain  [][]int // L = M − C, kept incrementally
 	avail   []int   // A_j = Σ_i L_ij, kept incrementally
 	version uint64  // bumps on every successful mutation
+	// failed maps a failed node to its saved pre-failure capacity row;
+	// FailNode populates it, RestoreNode consumes it.
+	failed map[int][]int
 }
 
 // New creates an inventory for nodes × types with zero capacity everywhere.
@@ -315,6 +319,74 @@ func (inv *Inventory) Move(from, to topology.NodeID, vt model.VMTypeID) error {
 	return nil
 }
 
+// FailNode marks a node as failed: its capacity row drops to zero and
+// every VM allocated there is lost — dropped from C, not released, since
+// a crashed host returns nothing. The pre-failure capacity row is saved
+// for RestoreNode. It returns the per-type counts of lost VMs so callers
+// can repair the owning clusters' bookkeeping. Failing an already-failed
+// node is an error.
+func (inv *Inventory) FailNode(node topology.NodeID) ([]int, error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	i := int(node)
+	if i < 0 || i >= inv.nodes {
+		return nil, fmt.Errorf("inventory: FailNode(%d) out of range %d nodes", i, inv.nodes)
+	}
+	if _, down := inv.failed[i]; down {
+		return nil, fmt.Errorf("inventory: node %d is already failed", i)
+	}
+	saved := append([]int(nil), inv.max[i]...)
+	lost := append([]int(nil), inv.alloc[i]...)
+	for j := 0; j < inv.types; j++ {
+		inv.avail[j] -= inv.remain[i][j]
+		inv.max[i][j] = 0
+		inv.alloc[i][j] = 0
+		inv.remain[i][j] = 0
+	}
+	if inv.failed == nil {
+		inv.failed = make(map[int][]int)
+	}
+	inv.failed[i] = saved
+	inv.version++
+	return lost, nil
+}
+
+// RestoreNode reinstates the capacity saved by FailNode: the node comes
+// back empty at its pre-failure capacity. It is an error if the node is
+// not currently failed.
+func (inv *Inventory) RestoreNode(node topology.NodeID) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	i := int(node)
+	if i < 0 || i >= inv.nodes {
+		return fmt.Errorf("inventory: RestoreNode(%d) out of range %d nodes", i, inv.nodes)
+	}
+	saved, down := inv.failed[i]
+	if !down {
+		return fmt.Errorf("inventory: node %d is not failed", i)
+	}
+	for j := 0; j < inv.types; j++ {
+		inv.max[i][j] = saved[j]
+		inv.remain[i][j] = saved[j]
+		inv.avail[j] += saved[j]
+	}
+	delete(inv.failed, i)
+	inv.version++
+	return nil
+}
+
+// FailedNodes returns the currently failed nodes, ascending.
+func (inv *Inventory) FailedNodes() []topology.NodeID {
+	inv.mu.RLock()
+	defer inv.mu.RUnlock()
+	out := make([]topology.NodeID, 0, len(inv.failed))
+	for i := range inv.failed {
+		out = append(out, topology.NodeID(i))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // Version returns a counter that increases on every successful mutation.
 // Placement algorithms can use it to detect stale snapshots.
 func (inv *Inventory) Version() uint64 {
@@ -364,6 +436,17 @@ func (inv *Inventory) Clone() *Inventory {
 		remain:  cloneMatrix(inv.remain),
 		avail:   append([]int(nil), inv.avail...),
 		version: inv.version,
+	}
+	if len(inv.failed) > 0 {
+		out.failed = make(map[int][]int, len(inv.failed))
+		keys := make([]int, 0, len(inv.failed))
+		for i := range inv.failed {
+			keys = append(keys, i)
+		}
+		sort.Ints(keys)
+		for _, i := range keys {
+			out.failed[i] = append([]int(nil), inv.failed[i]...)
+		}
 	}
 	return out
 }

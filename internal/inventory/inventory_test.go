@@ -386,3 +386,78 @@ func TestConcurrentAllocateRelease(t *testing.T) {
 		t.Errorf("leftover allocation %d", inv.Allocated(0, 0))
 	}
 }
+
+func TestFailAndRestoreNode(t *testing.T) {
+	inv := mustInv(t, [][]int{{3, 2}, {1, 1}})
+	if err := inv.Allocate([][]int{{2, 1}, {0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := inv.FailNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost[0] != 2 || lost[1] != 1 {
+		t.Errorf("lost = %v, want [2 1]", lost)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Capacity(0, 0) != 0 || inv.RemainingAt(0, 0) != 0 || inv.Allocated(0, 0) != 0 {
+		t.Error("failed node still shows capacity or allocation")
+	}
+	if got := inv.Available(); got[0] != 1 || got[1] != 1 {
+		t.Errorf("avail = %v, want [1 1]", got)
+	}
+	if failed := inv.FailedNodes(); len(failed) != 1 || failed[0] != 0 {
+		t.Errorf("FailedNodes = %v", failed)
+	}
+	if _, err := inv.FailNode(0); err == nil {
+		t.Error("double failure accepted")
+	}
+	if err := inv.RestoreNode(1); err == nil {
+		t.Error("restore of healthy node accepted")
+	}
+	if err := inv.RestoreNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The node comes back empty at full pre-failure capacity.
+	if inv.Capacity(0, 0) != 3 || inv.Capacity(0, 1) != 2 {
+		t.Error("capacity not restored")
+	}
+	if inv.Allocated(0, 0) != 0 {
+		t.Error("restored node should be empty")
+	}
+	if err := inv.RestoreNode(0); err == nil {
+		t.Error("double restore accepted")
+	}
+	if len(inv.FailedNodes()) != 0 {
+		t.Errorf("FailedNodes after restore = %v", inv.FailedNodes())
+	}
+}
+
+func TestFailNodeRangeAndClone(t *testing.T) {
+	inv := mustInv(t, [][]int{{2, 2}, {2, 2}})
+	if _, err := inv.FailNode(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := inv.FailNode(2); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := inv.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// A clone carries the failure state independently.
+	c := inv.Clone()
+	if err := c.RestoreNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.FailedNodes()) != 1 {
+		t.Error("restore on clone leaked into original")
+	}
+	if err := inv.RestoreNode(1); err != nil {
+		t.Fatal(err)
+	}
+}

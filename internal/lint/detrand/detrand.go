@@ -25,6 +25,7 @@ var SimPackages = map[string]bool{
 	"jointopt":    true,
 	"queue":       true,
 	"cloudsim":    true,
+	"faults":      true,
 	"mapreduce":   true,
 	"migration":   true,
 	"experiments": true,

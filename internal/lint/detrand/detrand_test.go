@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetrand(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "placement", "notsim")
+	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "placement", "faults", "notsim")
 }

@@ -1,0 +1,22 @@
+// Fixture: the fault-injection package is a simulation package — its
+// schedules feed the same byte-identical trace contract, so ambient
+// randomness and wall clocks are banned there too.
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+func scheduleDrift() time.Time {
+	return time.Now() // want `time\.Now in simulation package`
+}
+
+func ambientVictim(nodes int) int {
+	return rand.Intn(nodes) // want `global math/rand\.Intn in simulation package`
+}
+
+func seededPlanOK(seed int64, nodes int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(nodes) // method on an injected *rand.Rand: allowed
+}

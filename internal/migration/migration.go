@@ -17,6 +17,7 @@ package migration
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"affinitycluster/internal/affinity"
@@ -326,6 +327,62 @@ func (p *Planner) Apply(plan *Plan, clusters []affinity.Allocation, residual [][
 		p.applyTo(clusters, residual, mv)
 	}
 	return nil
+}
+
+// ErrNoCapacity is returned by PlanReplacement when some lost VM cannot
+// be hosted anywhere in the residual capacity — the degraded cluster
+// cannot be evacuated in place and must be re-placed wholesale.
+var ErrNoCapacity = errors.New("migration: insufficient residual capacity for replacement")
+
+// PlanReplacement is the evacuation half of fault recovery: a node
+// failure destroyed `lost[j]` VMs of each type j belonging to `cluster`
+// (whose rows for the dead nodes are already zeroed), and replacements
+// must be placed into the residual capacity. Each replacement VM goes to
+// the feasible node minimizing the cluster's resulting DC — the same
+// greedy single-VM step the planner's Relocate moves use, so evacuated
+// clusters land as tight as a migration pass would leave them. The scan
+// is deterministic (type-major, ascending node IDs, strict improvement
+// to switch), inputs are not mutated, and the returned matrix holds only
+// the replacement VMs so callers can Allocate it and merge it into the
+// cluster.
+func PlanReplacement(t *topology.Topology, residual [][]int, cluster affinity.Allocation, lost model.Request) (affinity.Allocation, error) {
+	if t == nil {
+		return nil, errors.New("migration: nil topology")
+	}
+	n := t.Nodes()
+	if len(residual) != n || len(cluster) != n {
+		return nil, fmt.Errorf("migration: residual has %d rows, cluster %d, topology %d nodes", len(residual), len(cluster), n)
+	}
+	work := cluster.Clone()
+	free := make([][]int, n)
+	for i := range residual {
+		free[i] = append([]int(nil), residual[i]...)
+	}
+	repl := affinity.NewAllocation(n, len(lost))
+	for j, count := range lost {
+		for v := 0; v < count; v++ {
+			best := -1
+			bestD := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if free[i][j] == 0 {
+					continue
+				}
+				work.Add(topology.NodeID(i), model.VMTypeID(j))
+				d, _ := work.Distance(t)
+				work.Remove(topology.NodeID(i), model.VMTypeID(j))
+				if d < bestD {
+					bestD, best = d, i
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("%w: no node can host a type-%d replacement", ErrNoCapacity, j)
+			}
+			work.Add(topology.NodeID(best), model.VMTypeID(j))
+			free[best][j]--
+			repl[best][j]++
+		}
+	}
+	return repl, nil
 }
 
 // TotalDistance sums DC over non-nil clusters — the quantity migrations

@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -290,5 +291,63 @@ func TestQuickPlanSoundness(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPlanReplacementPrefersClusterRack(t *testing.T) {
+	// 2 racks × 3 nodes. The cluster lives on nodes 0 and 1 (rack 0);
+	// node 2 (rack 0) and node 3 (rack 1) both have free capacity. The
+	// replacement for one lost VM must land on node 2, the same rack.
+	tp, err := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := affinity.NewAllocation(6, 1)
+	cluster[0][0] = 2
+	cluster[1][0] = 1
+	residual := [][]int{{0}, {0}, {1}, {1}, {0}, {0}}
+	repl, err := PlanReplacement(tp, residual, cluster, model.Request{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl[2][0] != 1 || repl.TotalVMs() != 1 {
+		t.Errorf("replacement = %v, want 1 VM on node 2", repl)
+	}
+	// Inputs must be untouched.
+	if cluster.TotalVMs() != 3 || residual[2][0] != 1 {
+		t.Error("PlanReplacement mutated its inputs")
+	}
+}
+
+func TestPlanReplacementMultiVMAndNoCapacity(t *testing.T) {
+	tp, err := topology.Uniform(1, 2, 3, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := affinity.NewAllocation(6, 2)
+	cluster[0][0] = 1
+	residual := [][]int{{0, 0}, {1, 1}, {1, 0}, {2, 2}, {0, 0}, {0, 0}}
+	repl, err := PlanReplacement(tp, residual, cluster, model.Request{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.TotalVMs() != 3 {
+		t.Fatalf("placed %d VMs, want 3", repl.TotalVMs())
+	}
+	// All replacements must respect residual capacity.
+	for i := range repl {
+		for j, k := range repl[i] {
+			if k > residual[i][j] {
+				t.Errorf("node %d type %d: placed %d, residual %d", i, j, k, residual[i][j])
+			}
+		}
+	}
+	// Rack 0 (nodes 0–2) can host both type-0 VMs; they must stay with
+	// the cluster rather than straddle into rack 1.
+	if repl[1][0]+repl[2][0] != 2 {
+		t.Errorf("type-0 replacements left the cluster rack: %v", repl)
+	}
+	if _, err := PlanReplacement(tp, residual, cluster, model.Request{9, 0}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("impossible replacement: %v", err)
 	}
 }

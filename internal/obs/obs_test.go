@@ -193,3 +193,21 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("events = %d, want 8000", got)
 	}
 }
+
+func TestTraceIntSliceField(t *testing.T) {
+	r := NewRegistry()
+	r.Emit("fault", 3, F("nodes", []int{4, 5, 6}), F("empty", []int{}))
+	var buf bytes.Buffer
+	if err := r.WriteTraceJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":3,"kind":"fault","nodes":[4,5,6],"empty":[]}`
+	got := strings.TrimSuffix(buf.String(), "\n")
+	if got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got), &m); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+}

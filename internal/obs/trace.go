@@ -97,6 +97,17 @@ func appendValue(b []byte, v any) []byte {
 		return strconv.AppendBool(b, x)
 	case string:
 		return strconv.AppendQuote(b, x)
+	case []int:
+		// Node lists of fault events, serialized as a real JSON array so
+		// trace consumers need no string re-parsing.
+		b = append(b, '[')
+		for i, v := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		return append(b, ']')
 	case fmt.Stringer:
 		return strconv.AppendQuote(b, x.String())
 	default:

@@ -51,6 +51,7 @@ type Queue struct {
 	capacity int // 0 = unbounded
 	items    []model.TimedRequest
 	seq      int // admission sequence for stable FIFO within priorities
+	front    int // descending sequence handed to EnqueueFront insertions
 	seqs     map[model.RequestID]int
 
 	// obs handles; nil (no-op) unless Instrument was called.
@@ -101,6 +102,33 @@ func (q *Queue) Enqueue(r model.TimedRequest) error {
 	q.items = append(q.items, r)
 	q.seqs[r.ID] = q.seq
 	q.seq++
+	q.mEnqueued.Inc()
+	q.mDepth.Set(float64(len(q.items)))
+	return nil
+}
+
+// EnqueueFront inserts a request at the head of the policy order (first
+// in FIFO order, first within its priority level). Fault recovery uses
+// it to requeue a cluster torn down by a node failure: the victim keeps
+// its original arrival time and gets first claim on repaired capacity
+// instead of waiting behind requests that arrived after it was already
+// being served.
+func (q *Queue) EnqueueFront(r model.TimedRequest) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		q.mRejected.Inc()
+		return ErrFull
+	}
+	if _, dup := q.seqs[r.ID]; dup {
+		q.mRejected.Inc()
+		return fmt.Errorf("queue: duplicate request ID %d", r.ID)
+	}
+	q.items = append(q.items, model.TimedRequest{})
+	copy(q.items[1:], q.items)
+	q.items[0] = r
+	q.front--
+	q.seqs[r.ID] = q.front
 	q.mEnqueued.Inc()
 	q.mDepth.Set(float64(len(q.items)))
 	return nil

@@ -297,3 +297,59 @@ func TestConcurrentEnqueueCancel(t *testing.T) {
 		t.Errorf("Len = %d, want %d", q.Len(), 8*25)
 	}
 }
+
+func TestEnqueueFrontOrdersAheadOfFIFO(t *testing.T) {
+	q := New(FIFO, 0)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(req(i, model.Request{1}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.EnqueueFront(req(9, model.Request{1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := q.Peek()
+	if got[0].ID != 9 {
+		t.Errorf("head = %d, want 9", got[0].ID)
+	}
+	for i := 1; i < 4; i++ {
+		if got[i].ID != model.RequestID(i-1) {
+			t.Errorf("position %d: ID %d", i, got[i].ID)
+		}
+	}
+	// A second front insert outranks the first.
+	if err := q.EnqueueFront(req(8, model.Request{1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if head, ok := q.Dequeue(); !ok || head.ID != 8 {
+		t.Errorf("dequeued %v, want 8", head.ID)
+	}
+}
+
+func TestEnqueueFrontPriorityAndLimits(t *testing.T) {
+	q := New(PriorityPolicy, 2)
+	if err := q.Enqueue(req(0, model.Request{1}, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueFront(req(1, model.Request{1}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Priority still dominates; within a level the front insert leads.
+	got := q.Peek()
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Errorf("order = %v,%v, want 0,1", got[0].ID, got[1].ID)
+	}
+	if err := q.EnqueueFront(req(2, model.Request{1}, 0)); !errors.Is(err, ErrFull) {
+		t.Errorf("over-capacity front insert: %v", err)
+	}
+	if err := q.EnqueueFront(req(1, model.Request{1}, 0)); err == nil {
+		t.Error("duplicate front insert accepted")
+	}
+	// Taken requests clear their seqs so the ID can requeue later.
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := q.EnqueueFront(req(0, model.Request{1}, 5)); err != nil {
+		t.Errorf("re-insert after dequeue: %v", err)
+	}
+}
