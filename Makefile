@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race bench bench-hot bench-json verify clean
+.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race bench bench-hot bench-json bench-churn verify clean
 
 all: build
 
@@ -62,12 +62,21 @@ bench:
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkDistance(Scratch|Incremental)$$|BenchmarkOnlinePlace$$|BenchmarkAblationTransferFixpoint' .
 
-# Scale benchmarks (1×3×10 → 10×40×40 plants, pruned vs exhaustive center
-# scan) recorded as machine-readable JSON. One iteration per benchmark —
-# the pruned/exhaustive gap is ~40× at the top size, far above timer noise.
+# Scale benchmarks (1×3×10 → 100×100×100 plants, pruned vs exhaustive
+# center scan) recorded as machine-readable JSON. A fixed 100-iteration
+# benchtime keeps the run deterministic in length while averaging enough
+# iterations to hold timer noise down; benchjson rejects any
+# single-iteration result, so -benchtime=1x can't sneak back in.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPlaceScale' -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_placement.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPlaceScale' -benchmem -benchtime=100x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_placement.json
 	@cat BENCH_placement.json
+
+# Steady-state churn benchmarks (release oldest / place identical /
+# commit, plus a fail-restore mix) against the live inventory with the
+# persistent tier index attached, up to the 1M-node plant.
+bench-churn:
+	$(GO) test -run '^$$' -bench 'BenchmarkChurn' -benchmem -benchtime=100x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_churn.json
+	@cat BENCH_churn.json
 
 # The pre-merge gate: build, vet, lint, full tests, and the race detector.
 verify: build vet lint test race

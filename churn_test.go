@@ -1,0 +1,381 @@
+// Churn benchmarks and gates: steady-state place/release/fail cycles
+// against a live inventory with an attached tier index — the operational
+// regime the persistent aggregates exist for. BenchmarkChurn feeds
+// BENCH_churn.json (make bench-churn); TestChurnSteadyStateZeroAllocs is
+// the allocation-regression gate; TestChurnIncrementalLockstep is the
+// correctness property tying the incremental index and the pruned scan to
+// fresh rebuilds and the exhaustive oracle after every mutation kind.
+package bench
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/inventory"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+// churnRing is a FIFO of live clusters over one inventory: each slot holds
+// the request vector and the committed sparse entries, so the steady-state
+// step (release oldest, re-place the same vector, commit) conserves
+// utilization exactly and reuses every backing array.
+type churnRing struct {
+	inv        *inventory.Inventory
+	idx        *affinity.TierIndex
+	h          *placement.OnlineHeuristic
+	reqs       []model.Request
+	ents       [][]affinity.VMEntry
+	oldest     int
+	sp         affinity.SparseAlloc
+	allocTotal []int // VMs per node, for the fail arm's empty-victim scan
+	cursor     int
+}
+
+// fillChurnRing builds an inventory + attached index over caps and places
+// seeded random clusters until utilization reaches utilPct of the plant's
+// VM slots.
+func fillChurnRing(tb testing.TB, topo *topology.Topology, caps [][]int, nodesPerRack, utilPct int, seed int64) *churnRing {
+	tb.Helper()
+	inv, err := inventory.NewFromMatrix(caps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	idx, err := inv.AttachTierIndex(topo)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	total := 0
+	for i := range caps {
+		total += model.Sum(caps[i])
+	}
+	r := &churnRing{
+		inv:        inv,
+		idx:        idx,
+		h:          &placement.OnlineHeuristic{Policy: placement.ScanAllCenters},
+		allocTotal: make([]int, topo.Nodes()),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	types := len(caps[0])
+	used := 0
+	for used*100 < total*utilPct {
+		req := make(model.Request, types)
+		for j := range req {
+			req[j] = 1 + rng.Intn(nodesPerRack/2+1)
+		}
+		if _, _, err := r.h.PlaceSparse(r.idx, req, &r.sp); err != nil {
+			tb.Fatalf("prefill placement at %d/%d VMs: %v", used, total, err)
+		}
+		if err := inv.AllocateList(r.sp.Entries); err != nil {
+			tb.Fatalf("prefill commit: %v", err)
+		}
+		for _, e := range r.sp.Entries {
+			r.allocTotal[e.Node] += e.Count
+			used += e.Count
+		}
+		r.reqs = append(r.reqs, req)
+		r.ents = append(r.ents, append([]affinity.VMEntry(nil), r.sp.Entries...))
+	}
+	return r
+}
+
+// step is one steady-state churn iteration: tear down the oldest cluster
+// and re-place its exact request vector. The success path allocates
+// nothing once the ring's entry slices have reached working size.
+func (r *churnRing) step() error {
+	s := r.oldest
+	for _, e := range r.ents[s] {
+		r.allocTotal[e.Node] -= e.Count
+	}
+	if err := r.inv.ReleaseList(r.ents[s]); err != nil {
+		return err
+	}
+	if _, _, err := r.h.PlaceSparse(r.idx, r.reqs[s], &r.sp); err != nil {
+		return err
+	}
+	if err := r.inv.AllocateList(r.sp.Entries); err != nil {
+		return err
+	}
+	for _, e := range r.sp.Entries {
+		r.allocTotal[e.Node] += e.Count
+	}
+	r.ents[s] = append(r.ents[s][:0], r.sp.Entries...)
+	r.oldest = (s + 1) % len(r.ents)
+	return nil
+}
+
+// failRestoreEmpty crashes and immediately repairs the next node hosting
+// no VMs — exercising the whole-row index repair (rack/cloud max rescans)
+// without destroying any live cluster's bookkeeping.
+func (r *churnRing) failRestoreEmpty() error {
+	n := len(r.allocTotal)
+	for tries := 0; tries < n; tries++ {
+		v := r.cursor
+		r.cursor = (r.cursor + 1) % n
+		if r.allocTotal[v] != 0 {
+			continue
+		}
+		if _, err := r.inv.FailNode(topology.NodeID(v)); err != nil {
+			return err
+		}
+		return r.inv.RestoreNode(topology.NodeID(v))
+	}
+	return errors.New("no empty node to fail")
+}
+
+// BenchmarkChurn measures the steady-state churn cost against a live
+// inventory with the persistent tier index attached: release the oldest
+// cluster, place an identical request, commit — at several utilizations,
+// with a fail/restore mix arm, and at the million-node plant. The
+// place-release arms are the zero-allocation steady state gated by
+// TestChurnSteadyStateZeroAllocs.
+func BenchmarkChurn(b *testing.B) {
+	if testing.Short() {
+		b.Skip("churn plants are too heavy for -short runs")
+	}
+	const types = 3
+	run := func(name string, clouds, racks, nodesPerRack, utilPct int, failMix bool) {
+		b.Run(name, func(b *testing.B) {
+			topo, err := topology.Uniform(clouds, racks, nodesPerRack, topology.DefaultDistances())
+			if err != nil {
+				b.Fatal(err)
+			}
+			caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), types, workload.DefaultInventoryConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ring := fillChurnRing(b, topo, caps, nodesPerRack, utilPct, benchSeed)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ring.step(); err != nil {
+					b.Fatal(err)
+				}
+				if failMix {
+					if err := ring.failRestoreEmpty(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	run("place-release/10x40x40/util30", 10, 40, 40, 30, false)
+	run("place-release/10x40x40/util60", 10, 40, 40, 60, false)
+	run("place-release/10x40x40/util90", 10, 40, 40, 90, false)
+	run("fail-restore-mix/10x40x40/util60", 10, 40, 40, 60, true)
+	run("place-release/100x100x100/util30", 100, 100, 100, 30, false)
+}
+
+// TestChurnSteadyStateZeroAllocs gates the allocation-free steady state:
+// after warmup, a churn step (ReleaseList + PlaceSparse + AllocateList +
+// ring bookkeeping) must not allocate. GC is disabled around the
+// measurement so pool reclamation cannot flake the gate. The plant is
+// small so the gate also runs in -short mode.
+func TestChurnSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate runs in non-race builds")
+	}
+	const types = 3
+	topo, err := topology.Uniform(2, 10, 10, topology.DefaultDistances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), types, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := fillChurnRing(t, topo, caps, 10, 30, benchSeed)
+	for i := 0; i < 3*len(ring.ents); i++ { // warm pools and entry slices
+		if err := ring.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(100, func() {
+		if err := ring.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state churn step allocates %.2f times per op, want 0", avg)
+	}
+}
+
+// churnPlant builds a small random multi-cloud plant.
+func churnPlant(t *testing.T, rng *rand.Rand) *topology.Topology {
+	t.Helper()
+	bld := topology.NewBuilder(topology.DefaultDistances())
+	clouds := 1 + rng.Intn(3)
+	for c := 0; c < clouds; c++ {
+		bld.AddCloud()
+		racks := 1 + rng.Intn(4)
+		for k := 0; k < racks; k++ {
+			bld.AddRack()
+			bld.AddNodes(1 + rng.Intn(5))
+		}
+	}
+	topo, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestChurnIncrementalLockstep drives random place / release / fail /
+// restore sequences through two parallel worlds: the incremental one (an
+// inventory with an attached tier index, placements through the pruned
+// PlaceSparse scan and sparse commits) and the oracle one (a plain
+// inventory, placements through the exhaustive-center reference path on a
+// cloned snapshot). After every step the attached index must match a fresh
+// rebuild, the two inventories must agree cell for cell, and every
+// placement must be identical — allocation, DC, feasibility — between the
+// pruned and exhaustive paths.
+func TestChurnIncrementalLockstep(t *testing.T) {
+	trials := 20
+	steps := 50
+	if testing.Short() {
+		trials, steps = 6, 30
+	}
+	rng := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < trials; trial++ {
+		topo := churnPlant(t, rng)
+		n := topo.Nodes()
+		types := 1 + rng.Intn(3)
+		caps := make([][]int, n)
+		for i := range caps {
+			caps[i] = make([]int, types)
+			for j := range caps[i] {
+				caps[i][j] = rng.Intn(5)
+			}
+		}
+		invA, err := inventory.NewFromMatrix(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := invA.AttachTierIndex(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invB, err := inventory.NewFromMatrix(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned := &placement.OnlineHeuristic{Policy: placement.ScanAllCenters}
+		exhaustive := &placement.OnlineHeuristic{Policy: placement.ExhaustiveCenters}
+		var sp affinity.SparseAlloc
+		type cluster struct {
+			ents  []affinity.VMEntry
+			dense affinity.Allocation
+		}
+		var live []cluster
+		failed := map[int]bool{}
+		for step := 0; step < steps; step++ {
+			switch op := rng.Intn(6); {
+			case op <= 2: // place
+				req := make(model.Request, types)
+				for j := range req {
+					req[j] = rng.Intn(4)
+				}
+				dA, _, errA := pruned.PlaceSparse(idx, req, &sp)
+				dense, errB := exhaustive.Place(topo, invB.Remaining(), req)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("trial %d step %d: pruned err %v, exhaustive err %v", trial, step, errA, errB)
+				}
+				if errA != nil {
+					if !errors.Is(errA, placement.ErrInsufficient) {
+						t.Fatalf("trial %d step %d: %v", trial, step, errA)
+					}
+					break
+				}
+				if got := sp.ToDense(); !reflect.DeepEqual(got, dense) {
+					t.Fatalf("trial %d step %d: allocations differ\npruned:     %v\nexhaustive: %v", trial, step, got, dense)
+				}
+				dB, _ := dense.Distance(topo)
+				if dA != dB {
+					t.Fatalf("trial %d step %d: DC %v != %v", trial, step, dA, dB)
+				}
+				if err := invA.AllocateList(sp.Entries); err != nil {
+					t.Fatalf("trial %d step %d: AllocateList: %v", trial, step, err)
+				}
+				if err := invB.Allocate([][]int(dense)); err != nil {
+					t.Fatalf("trial %d step %d: Allocate: %v", trial, step, err)
+				}
+				live = append(live, cluster{
+					ents:  append([]affinity.VMEntry(nil), sp.Entries...),
+					dense: dense,
+				})
+			case op == 3 && len(live) > 0: // release
+				k := rng.Intn(len(live))
+				c := live[k]
+				if err := invA.ReleaseList(c.ents); err != nil {
+					t.Fatalf("trial %d step %d: ReleaseList: %v", trial, step, err)
+				}
+				if err := invB.Release([][]int(c.dense)); err != nil {
+					t.Fatalf("trial %d step %d: Release: %v", trial, step, err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			case op == 4: // fail a node, dropping its VMs from live clusters
+				v := rng.Intn(n)
+				if failed[v] {
+					break
+				}
+				lostA, errA := invA.FailNode(topology.NodeID(v))
+				lostB, errB := invB.FailNode(topology.NodeID(v))
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("trial %d step %d: FailNode err %v vs %v", trial, step, errA, errB)
+				}
+				if errA != nil {
+					break
+				}
+				if !reflect.DeepEqual(lostA, lostB) {
+					t.Fatalf("trial %d step %d: lost %v vs %v", trial, step, lostA, lostB)
+				}
+				failed[v] = true
+				for k := range live {
+					kept := live[k].ents[:0]
+					for _, e := range live[k].ents {
+						if int(e.Node) != v {
+							kept = append(kept, e)
+						}
+					}
+					live[k].ents = kept
+					for j := range live[k].dense[v] {
+						live[k].dense[v][j] = 0
+					}
+				}
+			default: // restore
+				for v := range failed {
+					if !failed[v] {
+						continue
+					}
+					if err := invA.RestoreNode(topology.NodeID(v)); err != nil {
+						t.Fatalf("trial %d step %d: RestoreNode: %v", trial, step, err)
+					}
+					if err := invB.RestoreNode(topology.NodeID(v)); err != nil {
+						t.Fatalf("trial %d step %d: RestoreNode oracle: %v", trial, step, err)
+					}
+					delete(failed, v)
+					break
+				}
+			}
+			if err := idx.CheckConsistent(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if err := invA.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if idx.Version() != invA.Version() {
+				t.Fatalf("trial %d step %d: index version %d != inventory %d", trial, step, idx.Version(), invA.Version())
+			}
+			if !reflect.DeepEqual(invA.Remaining(), invB.Remaining()) {
+				t.Fatalf("trial %d step %d: remaining matrices diverged", trial, step)
+			}
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // diffed (BENCH_placement.json) or archived as CI artifacts without
 // scraping free-form text downstream.
 //
-//	go test -run '^$' -bench BenchmarkPlaceScale -benchmem -benchtime=1x . | benchjson
+//	go test -run '^$' -bench BenchmarkPlaceScale -benchmem -benchtime=100x . | benchjson
 package main
 
 import (
@@ -37,7 +37,10 @@ type Report struct {
 
 // parse consumes go test -bench output. Unrecognized lines (PASS, ok,
 // test logs) are skipped; malformed Benchmark lines are an error so a
-// truncated run cannot silently produce an empty report.
+// truncated run cannot silently produce an empty report, and so are
+// single-iteration results — one iteration means the run was invoked
+// with -benchtime=1x (or an op outran the benchtime) and the figures
+// are unaveraged noise that must not be checked in.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
 	sc := bufio.NewScanner(r)
@@ -56,6 +59,9 @@ func parse(r io.Reader) (*Report, error) {
 			res, err := parseLine(line)
 			if err != nil {
 				return nil, err
+			}
+			if res.Iterations == 1 {
+				return nil, fmt.Errorf("benchjson: %s ran a single iteration — rerun with a real -benchtime so the figures are averaged", res.Name)
 			}
 			rep.Results = append(rep.Results, res)
 		}

@@ -56,3 +56,10 @@ func TestParseRejectsMalformed(t *testing.T) {
 		t.Fatal("want error for malformed metric value")
 	}
 }
+
+func TestParseRejectsSingleIteration(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkOnce-8 1 123456 ns/op\n"))
+	if err == nil || !strings.Contains(err.Error(), "single iteration") {
+		t.Fatalf("want single-iteration error, got %v", err)
+	}
+}

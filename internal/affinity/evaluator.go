@@ -251,6 +251,83 @@ func (e *DistanceEvaluator) MovePreview(p, q topology.NodeID) (float64, topology
 	return e.bestCenter(p, q)
 }
 
+// AddPreview prices the hypothetical addition of one VM at node q: the
+// exact DC(C) and central node the cluster would have with the extra VM,
+// computed without mutating the evaluator. It is the evacuation planner's
+// candidate probe (PlanReplacement tries every feasible host for each
+// replacement VM); like bestCenter it scans hosting nodes only, in racks
+// whose aggregate lower bound survives pruning, with the same tie-break
+// as Allocation.Distance.
+func (e *DistanceEvaluator) AddPreview(q topology.NodeID) (float64, topology.NodeID) {
+	d := e.t.Distances()
+	total := e.total + 1
+	rq, cq := e.t.RackOf(q), e.t.CloudOf(q)
+	racks := append(e.scanRacks[:0], e.active...)
+	if e.rackW[rq] == 0 {
+		racks = append(racks, rq)
+	}
+	lbs := e.scanLB[:0]
+	rws := e.scanRW[:0]
+	cws := e.scanCW[:0]
+	seed := -1
+	for idx, r := range racks {
+		rw := e.rackW[r]
+		cl := e.t.CloudOfRack(r)
+		cw := e.cloudW[cl]
+		if r == rq {
+			rw++
+		}
+		if cl == cq {
+			cw++
+		}
+		rws = append(rws, rw)
+		cws = append(cws, cw)
+		lb := TierSum(d, rw, rw, cw, total)
+		lbs = append(lbs, lb)
+		if seed < 0 || lb < lbs[seed] {
+			seed = idx
+		}
+	}
+	e.scanRacks, e.scanLB, e.scanRW, e.scanCW = racks, lbs, rws, cws
+
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	scan := func(idx int) {
+		r := racks[idx]
+		maxW := 0
+		maxID := topology.NodeID(-1)
+		for _, h := range e.rackHosts[r] {
+			wh := e.w[h]
+			if h == q {
+				wh++
+			}
+			if wh > maxW || (wh == maxW && h < maxID) {
+				maxW, maxID = wh, h
+			}
+		}
+		if r == rq && e.w[q] == 0 {
+			// q becomes a hosting node only with the added VM.
+			if 1 > maxW || (1 == maxW && q < maxID) {
+				maxW, maxID = 1, q
+			}
+		}
+		if maxW == 0 {
+			return
+		}
+		if s := TierSum(d, maxW, rws[idx], cws[idx], total); s < best || (s == best && maxID < bestK) {
+			best, bestK = s, maxID
+		}
+	}
+	scan(seed)
+	for idx := range racks {
+		if idx == seed || lbs[idx] > best {
+			continue
+		}
+		scan(idx)
+	}
+	return best, bestK
+}
+
 // bestCenter minimizes S_k over the cluster's hosting nodes — the current
 // ones when p < 0, or those after a hypothetical single-VM move p→q. The
 // minimum over all n candidate centers is always attained at a hosting node

@@ -233,3 +233,43 @@ func TestDistanceOfMatchesAllocation(t *testing.T) {
 		t.Fatalf("empty DistanceOf: (%v, %d)", d, k)
 	}
 }
+
+// TestEvaluatorAddPreview prices hypothetical single-VM additions at every
+// node over a random walk and asserts each preview equals the post-add
+// from-scratch computation — value AND central node — without mutating the
+// evaluator. Includes the empty-cluster case (first VM anywhere is DC 0).
+func TestEvaluatorAddPreview(t *testing.T) {
+	tp := evalPlant(t)
+	n := tp.Nodes()
+	const m = 2
+	rng := rand.New(rand.NewSource(7))
+	a := NewAllocation(n, m)
+	e := NewDistanceEvaluator(tp, a)
+	for step := 0; step < 120; step++ {
+		q := topology.NodeID(rng.Intn(n))
+		prevD, prevK := e.AddPreview(q)
+		d0, k0 := e.Distance()
+		if d1, k1 := e.Distance(); d1 != d0 || k1 != k0 {
+			t.Fatalf("step %d: AddPreview mutated evaluator", step)
+		}
+		vt := model.VMTypeID(rng.Intn(m))
+		a.Add(q, vt)
+		wantD, wantK := a.Distance(tp)
+		a.Remove(q, vt)
+		if prevD != wantD || prevK != wantK {
+			t.Fatalf("step %d: AddPreview(%d) = (%v, %d), post-add scratch (%v, %d)",
+				step, q, prevD, prevK, wantD, wantK)
+		}
+		// Walk: sometimes commit the add, sometimes remove something.
+		if rng.Intn(3) > 0 || a.TotalVMs() == 0 {
+			a.Add(q, vt)
+			e.Add(q)
+		} else {
+			hosts := a.HostingNodes()
+			i := hosts[rng.Intn(len(hosts))]
+			a.Remove(i, anyTypeOn(a, i))
+			e.Remove(i)
+		}
+		checkAgainstScratch(t, tp, e, a, step)
+	}
+}

@@ -1,0 +1,348 @@
+// TierIndex is the persistent form of the per-rack/per-cloud capacity
+// aggregates the placement fast paths price Definition 1 from. The
+// DistanceEvaluator keeps such aggregates for one cluster's VM totals;
+// the TierIndex keeps them for a remaining-capacity matrix L, so the
+// center scan can bound whole clouds and racks without touching their
+// nodes — and, unlike the per-call scratch the placers used to rebuild,
+// it is updated incrementally in O(affected tiers) as L changes.
+//
+// The index aliases the matrix it was built over: callers mutate L and
+// then report each changed cell through Apply. Maxima are repaired by
+// rescanning only the owning rack (and, when a rack-level maximum was
+// the cloud's, the owning cloud's rack list), so a k-cell commit costs
+// O(k·rackSize) worst case and O(k) typically. All methods that return
+// slices return views into the index's storage; they are read-only and
+// valid until the next Apply/Rebuild.
+//
+// A TierIndex is not safe for concurrent mutation. The inventory owns
+// one under its own lock (see inventory.AttachTierIndex); batch drivers
+// own private ones over their working matrices.
+package affinity
+
+import (
+	"fmt"
+
+	"affinitycluster/internal/topology"
+)
+
+// TierIndex holds tier-aggregated views of one remaining-capacity
+// matrix L.
+type TierIndex struct {
+	t *topology.Topology
+	l [][]int // the aliased matrix; rows must stay stable
+	n int
+	m int
+
+	rackRemain  []int // racks×m row-major: Σ_{i∈rack} L_ij
+	cloudRemain []int // clouds×m row-major: Σ_{i∈cloud} L_ij
+	avail       []int // m: A_j = Σ_i L_ij
+	nodeTot     []int // n: Σ_j L_ij
+	rackTotSum  []int // racks: Σ_j rackRemain[r][j]
+	rackMaxCol  []int // racks×m: max_{i∈rack} L_ij
+	rackMaxTot  []int // racks: max_{i∈rack} nodeTot[i]
+	cloudMaxTot []int // clouds: max over the cloud's racks of rackMaxTot
+	cloudMaxSum []int // clouds: max over the cloud's racks of rackTotSum
+
+	version uint64 // owner-keyed (e.g. Inventory.Version); 0 until synced
+}
+
+// NewTierIndex builds an index over matrix l on topology t. The index
+// keeps l by reference: every row must remain the same slice for the
+// index's lifetime, and every subsequent mutation of a cell must be
+// reported through Apply.
+func NewTierIndex(t *topology.Topology, l [][]int) (*TierIndex, error) {
+	n := t.Nodes()
+	if len(l) != n {
+		return nil, fmt.Errorf("affinity: tier index matrix has %d rows, topology has %d nodes", len(l), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("affinity: tier index over empty plant")
+	}
+	m := len(l[0])
+	for i, row := range l {
+		if len(row) != m {
+			return nil, fmt.Errorf("affinity: tier index matrix ragged at row %d", i)
+		}
+	}
+	x := &TierIndex{
+		t:           t,
+		l:           l,
+		n:           n,
+		m:           m,
+		rackRemain:  make([]int, t.Racks()*m),
+		cloudRemain: make([]int, t.Clouds()*m),
+		avail:       make([]int, m),
+		nodeTot:     make([]int, n),
+		rackTotSum:  make([]int, t.Racks()),
+		rackMaxCol:  make([]int, t.Racks()*m),
+		rackMaxTot:  make([]int, t.Racks()),
+		cloudMaxTot: make([]int, t.Clouds()),
+		cloudMaxSum: make([]int, t.Clouds()),
+	}
+	x.Rebuild()
+	return x, nil
+}
+
+// Topology returns the plant the index is built over.
+func (x *TierIndex) Topology() *topology.Topology { return x.t }
+
+// Matrix returns the aliased remaining-capacity matrix. Read-only for
+// anyone who is not also calling Apply.
+func (x *TierIndex) Matrix() [][]int { return x.l }
+
+// Types returns the type dimension m.
+func (x *TierIndex) Types() int { return x.m }
+
+// Version returns the owner-assigned version key (see SetVersion).
+func (x *TierIndex) Version() uint64 { return x.version }
+
+// SetVersion stamps the index with its owner's mutation counter, so
+// readers can detect a stale index by comparing against the owner's
+// current version (Inventory.Version for an attached index).
+func (x *TierIndex) SetVersion(v uint64) { x.version = v }
+
+// Avail returns the availability vector A_j = Σ_i L_ij as a view.
+func (x *TierIndex) Avail() []int { return x.avail }
+
+// RackRemain returns rack r's per-type remaining totals as a view.
+func (x *TierIndex) RackRemain(r int) []int { return x.rackRemain[r*x.m : (r+1)*x.m] }
+
+// CloudRemain returns cloud c's per-type remaining totals as a view.
+func (x *TierIndex) CloudRemain(c int) []int { return x.cloudRemain[c*x.m : (c+1)*x.m] }
+
+// RackMaxCol returns rack r's per-type maximum single-node remaining
+// capacity as a view — the fast path's rack-level covering test.
+func (x *TierIndex) RackMaxCol(r int) []int { return x.rackMaxCol[r*x.m : (r+1)*x.m] }
+
+// NodeTotal returns Σ_j L_ij for node i.
+func (x *TierIndex) NodeTotal(i topology.NodeID) int { return x.nodeTot[i] }
+
+// RackMaxTotal returns the largest per-node total remaining capacity in
+// rack r.
+func (x *TierIndex) RackMaxTotal(r int) int { return x.rackMaxTot[r] }
+
+// RackTotalSum returns Σ_j Σ_{i∈rack} L_ij for rack r.
+func (x *TierIndex) RackTotalSum(r int) int { return x.rackTotSum[r] }
+
+// CloudMaxNodeTotal returns the largest per-node total remaining
+// capacity in cloud c.
+func (x *TierIndex) CloudMaxNodeTotal(c int) int { return x.cloudMaxTot[c] }
+
+// CloudMaxRackSum returns the largest rack-level total remaining
+// capacity in cloud c.
+func (x *TierIndex) CloudMaxRackSum(c int) int { return x.cloudMaxSum[c] }
+
+// Rebind points the index at a different matrix of the same shape and
+// rebuilds, clearing the version stamp. It exists so transient per-call
+// indexes can be pooled instead of reallocated.
+func (x *TierIndex) Rebind(l [][]int) error {
+	if len(l) != x.n {
+		return fmt.Errorf("affinity: tier index rebind with %d rows, index has %d", len(l), x.n)
+	}
+	for i, row := range l {
+		if len(row) != x.m {
+			return fmt.Errorf("affinity: tier index rebind ragged at row %d", i)
+		}
+	}
+	x.l = l
+	x.version = 0
+	x.Rebuild()
+	return nil
+}
+
+// Rebuild recomputes every aggregate from the matrix — O(n·m). Apply
+// keeps them incrementally; Rebuild exists for construction and for the
+// churn property tests' fresh-rebuild comparisons.
+func (x *TierIndex) Rebuild() {
+	for k := range x.rackRemain {
+		x.rackRemain[k] = 0
+		x.rackMaxCol[k] = 0
+	}
+	for k := range x.cloudRemain {
+		x.cloudRemain[k] = 0
+	}
+	for j := range x.avail {
+		x.avail[j] = 0
+	}
+	for r := range x.rackTotSum {
+		x.rackTotSum[r] = 0
+		x.rackMaxTot[r] = 0
+	}
+	for c := range x.cloudMaxTot {
+		x.cloudMaxTot[c] = 0
+		x.cloudMaxSum[c] = 0
+	}
+	m := x.m
+	for i, row := range x.l {
+		r := x.t.RackOf(topology.NodeID(i))
+		c := x.t.CloudOf(topology.NodeID(i))
+		tot := 0
+		for j, v := range row {
+			tot += v
+			x.avail[j] += v
+			x.rackRemain[r*m+j] += v
+			x.cloudRemain[c*m+j] += v
+			if v > x.rackMaxCol[r*m+j] {
+				x.rackMaxCol[r*m+j] = v
+			}
+		}
+		x.nodeTot[i] = tot
+		x.rackTotSum[r] += tot
+		if tot > x.rackMaxTot[r] {
+			x.rackMaxTot[r] = tot
+		}
+	}
+	for r := 0; r < x.t.Racks(); r++ {
+		c := x.t.CloudOfRack(r)
+		if c < 0 {
+			continue
+		}
+		if x.rackMaxTot[r] > x.cloudMaxTot[c] {
+			x.cloudMaxTot[c] = x.rackMaxTot[r]
+		}
+		if x.rackTotSum[r] > x.cloudMaxSum[c] {
+			x.cloudMaxSum[c] = x.rackTotSum[r]
+		}
+	}
+}
+
+// Apply folds one already-performed cell mutation into the aggregates:
+// L[i][j] changed by delta (the matrix holds the new value). Sums
+// update in O(1); a maximum that may have dropped is repaired by
+// rescanning the owning rack, and a rack-level maximum that carried its
+// cloud's triggers a rescan of that cloud's rack list.
+func (x *TierIndex) Apply(i topology.NodeID, j int, delta int) {
+	if delta == 0 {
+		return
+	}
+	m := x.m
+	r := x.t.RackOf(i)
+	c := x.t.CloudOf(i)
+	v := x.l[i][j] // new value
+	x.avail[j] += delta
+	x.rackRemain[r*m+j] += delta
+	x.cloudRemain[c*m+j] += delta
+	oldTot := x.nodeTot[i]
+	newTot := oldTot + delta
+	x.nodeTot[i] = newTot
+	x.rackTotSum[r] += delta
+
+	// Per-rack per-type max.
+	if delta > 0 {
+		if v > x.rackMaxCol[r*m+j] {
+			x.rackMaxCol[r*m+j] = v
+		}
+	} else if v-delta == x.rackMaxCol[r*m+j] {
+		mc := 0
+		for _, id := range x.t.RackNodes(r) {
+			if w := x.l[id][j]; w > mc {
+				mc = w
+			}
+		}
+		x.rackMaxCol[r*m+j] = mc
+	}
+
+	// Per-rack max node total, and the cloud max it may carry.
+	if delta > 0 {
+		if newTot > x.rackMaxTot[r] {
+			x.rackMaxTot[r] = newTot
+			if newTot > x.cloudMaxTot[c] {
+				x.cloudMaxTot[c] = newTot
+			}
+		}
+	} else if oldTot == x.rackMaxTot[r] {
+		mt := 0
+		for _, id := range x.t.RackNodes(r) {
+			if w := x.nodeTot[id]; w > mt {
+				mt = w
+			}
+		}
+		if mt != x.rackMaxTot[r] {
+			was := x.rackMaxTot[r]
+			x.rackMaxTot[r] = mt
+			if was == x.cloudMaxTot[c] {
+				cm := 0
+				for _, rr := range x.t.CloudRacks(c) {
+					if w := x.rackMaxTot[rr]; w > cm {
+						cm = w
+					}
+				}
+				x.cloudMaxTot[c] = cm
+			}
+		}
+	}
+
+	// Cloud max rack-total sum.
+	rts := x.rackTotSum[r]
+	if delta > 0 {
+		if rts > x.cloudMaxSum[c] {
+			x.cloudMaxSum[c] = rts
+		}
+	} else if rts-delta == x.cloudMaxSum[c] {
+		cm := 0
+		for _, rr := range x.t.CloudRacks(c) {
+			if w := x.rackTotSum[rr]; w > cm {
+				cm = w
+			}
+		}
+		x.cloudMaxSum[c] = cm
+	}
+}
+
+// ApplyRow folds a whole-row change: every cell of node i moved from
+// the values implied by the per-type deltas. It is Apply per type, the
+// form FailNode/RestoreNode use.
+func (x *TierIndex) ApplyRow(i topology.NodeID, deltas []int) {
+	for j, d := range deltas {
+		x.Apply(i, j, d)
+	}
+}
+
+// CheckConsistent recomputes every aggregate from the matrix and
+// returns the first discrepancy — the churn property tests' oracle.
+func (x *TierIndex) CheckConsistent() error {
+	fresh, err := NewTierIndex(x.t, x.l)
+	if err != nil {
+		return err
+	}
+	if !intsEqual(x.avail, fresh.avail) {
+		return fmt.Errorf("affinity: tier index avail %v, rebuild %v", x.avail, fresh.avail)
+	}
+	if !intsEqual(x.rackRemain, fresh.rackRemain) {
+		return fmt.Errorf("affinity: tier index rackRemain diverged from rebuild")
+	}
+	if !intsEqual(x.cloudRemain, fresh.cloudRemain) {
+		return fmt.Errorf("affinity: tier index cloudRemain diverged from rebuild")
+	}
+	if !intsEqual(x.nodeTot, fresh.nodeTot) {
+		return fmt.Errorf("affinity: tier index nodeTot diverged from rebuild")
+	}
+	if !intsEqual(x.rackTotSum, fresh.rackTotSum) {
+		return fmt.Errorf("affinity: tier index rackTotSum diverged from rebuild")
+	}
+	if !intsEqual(x.rackMaxCol, fresh.rackMaxCol) {
+		return fmt.Errorf("affinity: tier index rackMaxCol diverged from rebuild")
+	}
+	if !intsEqual(x.rackMaxTot, fresh.rackMaxTot) {
+		return fmt.Errorf("affinity: tier index rackMaxTot diverged from rebuild")
+	}
+	if !intsEqual(x.cloudMaxTot, fresh.cloudMaxTot) {
+		return fmt.Errorf("affinity: tier index cloudMaxTot diverged from rebuild")
+	}
+	if !intsEqual(x.cloudMaxSum, fresh.cloudMaxSum) {
+		return fmt.Errorf("affinity: tier index cloudMaxSum diverged from rebuild")
+	}
+	return nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

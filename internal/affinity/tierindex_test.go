@@ -1,0 +1,172 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+
+	"affinitycluster/internal/topology"
+)
+
+func buildPlant(t *testing.T, spec [][]int) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder(topology.DefaultDistances())
+	for _, racks := range spec {
+		b.AddCloud()
+		for _, nodes := range racks {
+			b.AddRack()
+			b.AddNodes(nodes)
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func tierTestPlant(t *testing.T, rng *rand.Rand) *topology.Topology {
+	t.Helper()
+	clouds := 1 + rng.Intn(3)
+	spec := make([][]int, clouds)
+	for c := range spec {
+		racks := 1 + rng.Intn(4)
+		spec[c] = make([]int, racks)
+		for r := range spec[c] {
+			spec[c][r] = 1 + rng.Intn(5)
+		}
+	}
+	return buildPlant(t, spec)
+}
+
+// TestTierIndexApplyMatchesRebuild hammers Apply/ApplyRow with random
+// cell mutations — including row zeroing and restore, the FailNode /
+// RestoreNode shapes — and checks every aggregate against a fresh
+// rebuild after each step.
+func TestTierIndexApplyMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		topo := tierTestPlant(t, rng)
+		n := topo.Nodes()
+		m := 1 + rng.Intn(3)
+		l := make([][]int, n)
+		for i := range l {
+			l[i] = make([]int, m)
+			for j := range l[i] {
+				l[i][j] = rng.Intn(6)
+			}
+		}
+		idx, err := NewTierIndex(topo, l)
+		if err != nil {
+			t.Fatalf("trial %d: NewTierIndex: %v", trial, err)
+		}
+		saved := make([]int, m)
+		deltas := make([]int, m)
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // single-cell mutation, both signs
+				i := topology.NodeID(rng.Intn(n))
+				j := rng.Intn(m)
+				d := rng.Intn(5) - 2
+				if l[i][j]+d < 0 {
+					d = -l[i][j]
+				}
+				l[i][j] += d
+				idx.Apply(i, j, d)
+			case 2: // zero a row (FailNode shape)
+				i := topology.NodeID(rng.Intn(n))
+				for j := 0; j < m; j++ {
+					saved[j] = l[i][j]
+					deltas[j] = -l[i][j]
+					l[i][j] = 0
+				}
+				idx.ApplyRow(i, deltas)
+			case 3: // restore a row to random values (RestoreNode shape)
+				i := topology.NodeID(rng.Intn(n))
+				for j := 0; j < m; j++ {
+					nv := rng.Intn(6)
+					deltas[j] = nv - l[i][j]
+					l[i][j] = nv
+				}
+				idx.ApplyRow(i, deltas)
+			}
+			if err := idx.CheckConsistent(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+		_ = saved
+	}
+}
+
+// TestTierIndexViews spot-checks the accessor views against direct
+// recomputation on a fixed plant.
+func TestTierIndexViews(t *testing.T) {
+	topo := buildPlant(t, [][]int{{2, 3}, {4}})
+	l := [][]int{
+		{1, 0}, {2, 5}, // rack 0 (cloud 0)
+		{0, 0}, {3, 1}, {0, 2}, // rack 1 (cloud 0)
+		{7, 7}, {1, 1}, {0, 4}, {2, 2}, // rack 2 (cloud 1)
+	}
+	idx, err := NewTierIndex(topo, l)
+	if err != nil {
+		t.Fatalf("NewTierIndex: %v", err)
+	}
+	if got := idx.Avail(); got[0] != 16 || got[1] != 22 {
+		t.Fatalf("Avail = %v", got)
+	}
+	if got := idx.RackRemain(1); got[0] != 3 || got[1] != 3 {
+		t.Fatalf("RackRemain(1) = %v", got)
+	}
+	if got := idx.CloudRemain(1); got[0] != 10 || got[1] != 14 {
+		t.Fatalf("CloudRemain(1) = %v", got)
+	}
+	if got := idx.RackMaxCol(0); got[0] != 2 || got[1] != 5 {
+		t.Fatalf("RackMaxCol(0) = %v", got)
+	}
+	if got := idx.RackMaxTotal(2); got != 14 {
+		t.Fatalf("RackMaxTotal(2) = %d", got)
+	}
+	if got := idx.RackTotalSum(2); got != 24 {
+		t.Fatalf("RackTotalSum(2) = %d", got)
+	}
+	if got := idx.CloudMaxNodeTotal(0); got != 7 {
+		t.Fatalf("CloudMaxNodeTotal(0) = %d", got)
+	}
+	if got := idx.CloudMaxRackSum(0); got != 8 {
+		t.Fatalf("CloudMaxRackSum(0) = %d", got)
+	}
+	if got := idx.NodeTotal(4); got != 2 {
+		t.Fatalf("NodeTotal(4) = %d", got)
+	}
+	idx.SetVersion(9)
+	if idx.Version() != 9 {
+		t.Fatalf("Version = %d", idx.Version())
+	}
+}
+
+// TestSparseAllocRoundTrip checks the sparse form densifies correctly
+// and validates its bounds.
+func TestSparseAllocRoundTrip(t *testing.T) {
+	var s SparseAlloc
+	s.Reset(4, 2)
+	s.Add(1, 0, 3)
+	s.Add(1, 1, 1)
+	s.Add(3, 0, 2)
+	if s.TotalVMs() != 6 {
+		t.Fatalf("TotalVMs = %d", s.TotalVMs())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	d := s.ToDense()
+	if d[1][0] != 3 || d[1][1] != 1 || d[3][0] != 2 || d[0][0] != 0 {
+		t.Fatalf("ToDense = %v", d)
+	}
+	s.Add(9, 0, 1)
+	if err := s.Validate(); err == nil {
+		t.Fatalf("Validate accepted out-of-range node")
+	}
+	s.Reset(4, 2)
+	if len(s.Entries) != 0 || s.NumNodes != 4 {
+		t.Fatalf("Reset left %d entries", len(s.Entries))
+	}
+}

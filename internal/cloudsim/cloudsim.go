@@ -153,6 +153,15 @@ type Simulator struct {
 	global *placement.GlobalSubOpt
 	mig    *migration.Planner
 
+	// Sparse fast path: when the placer is the online heuristic with the
+	// pruned-scan policy, a persistent tier index is attached to the
+	// inventory at construction and each placement goes through
+	// PlaceSparse + AllocateList instead of clone-plan-commit. The results
+	// are bitwise identical; only the per-request O(n·m) copies disappear.
+	online *placement.OnlineHeuristic
+	tidx   *affinity.TierIndex
+	sp     affinity.SparseAlloc
+
 	arrivals map[model.RequestID]float64
 	running  map[int]affinity.Allocation  // live clusters by registry ID
 	reqOf    map[int]model.TimedRequest   // registry ID → original request
@@ -263,6 +272,13 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 	}
 	if s.totalSlots == 0 {
 		return nil, errors.New("cloudsim: inventory has zero capacity")
+	}
+	if oh, ok := placer.(*placement.OnlineHeuristic); ok && oh.Policy == placement.ScanAllCenters {
+		idx, err := inv.AttachTierIndex(tp)
+		if err != nil {
+			return nil, fmt.Errorf("cloudsim: attaching tier index: %w", err)
+		}
+		s.online, s.tidx = oh, idx
 	}
 	return s, nil
 }
@@ -405,6 +421,23 @@ func (s *Simulator) reject(r model.TimedRequest, now float64, reason string) {
 // inventory error is a bug and aborts the run instead of being
 // misread as a full cloud.
 func (s *Simulator) place(r model.TimedRequest, now float64) bool {
+	if s.tidx != nil && len(r.Vector) == s.tidx.Types() {
+		d, center, err := s.online.PlaceSparse(s.tidx, r.Vector, &s.sp)
+		if err != nil {
+			if !errors.Is(err, placement.ErrInsufficient) {
+				s.fail(fmt.Errorf("cloudsim: placer %s on request %d: %w", s.placer.Name(), r.ID, err))
+			}
+			return false
+		}
+		if err := s.inv.AllocateList(s.sp.Entries); err != nil {
+			if !errors.Is(err, inventory.ErrInsufficient) {
+				s.fail(fmt.Errorf("cloudsim: allocating request %d: %w", r.ID, err))
+			}
+			return false
+		}
+		s.commission(r, s.sp.ToDense(), d, center, now)
+		return true
+	}
 	alloc, err := s.placer.Place(s.topo, s.inv.Remaining(), r.Vector)
 	if err != nil {
 		if !errors.Is(err, placement.ErrInsufficient) {
@@ -418,15 +451,18 @@ func (s *Simulator) place(r model.TimedRequest, now float64) bool {
 		}
 		return false
 	}
-	s.commission(r, alloc, now)
+	d, center := alloc.Distance(s.topo)
+	s.commission(r, alloc, d, center, now)
 	return true
 }
 
-// commission records a served cluster and schedules its departure.
-func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, now float64) {
+// commission records a served cluster and schedules its departure. The
+// caller supplies the cluster's data center distance and central node —
+// the sparse path gets them from the placement itself instead of
+// recomputing over the dense matrix.
+func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, d float64, center topology.NodeID, now float64) {
 	s.sampleUtilization(now)
 	s.usedSlots += alloc.TotalVMs()
-	d, center := alloc.Distance(s.topo)
 	wait := now - s.arrivals[r.ID]
 	delete(s.arrivals, r.ID)
 	s.metrics.Served++
@@ -516,7 +552,7 @@ func (s *Simulator) migrate(now float64) {
 	for i, id := range ids {
 		clusters[i] = s.running[id]
 	}
-	plan, err := s.mig.Plan(s.topo, s.inv.Remaining(), clusters)
+	plan, err := s.mig.Plan(s.topo, s.inv.RemainingView(), clusters)
 	if err != nil || len(plan.Moves) == 0 {
 		return
 	}
@@ -573,7 +609,7 @@ func (s *Simulator) drain(now float64) {
 		for i, r := range taken {
 			vecs[i] = r.Vector
 		}
-		res, err := s.global.PlaceBatch(s.topo, s.inv.Remaining(), vecs)
+		res, err := s.global.PlaceBatch(s.topo, s.inv.RemainingView(), vecs)
 		if err == nil {
 			for i, alloc := range res.Allocs {
 				if alloc == nil {
@@ -585,7 +621,8 @@ func (s *Simulator) drain(now float64) {
 					s.requeue(taken[i], now)
 					continue
 				}
-				s.commission(taken[i], alloc, now)
+				d, center := alloc.Distance(s.topo)
+				s.commission(taken[i], alloc, d, center, now)
 			}
 			return
 		}

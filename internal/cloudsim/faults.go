@@ -103,7 +103,7 @@ func (s *Simulator) degrade(id int, dead []topology.NodeID, now float64) {
 		obs.F("lost", lostVMs),
 		obs.F("survivors", survivors))
 	if survivors > 0 {
-		repl, err := migration.PlanReplacement(s.topo, s.inv.Remaining(), alloc, lostVec)
+		repl, err := migration.PlanReplacement(s.topo, s.inv.RemainingView(), alloc, lostVec)
 		if err == nil {
 			s.evacuate(id, alloc, repl, lostVMs, now)
 			return

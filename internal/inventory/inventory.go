@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"affinitycluster/internal/affinity"
 	"affinitycluster/internal/model"
 	"affinitycluster/internal/topology"
 )
@@ -36,6 +37,12 @@ type Inventory struct {
 	// failed maps a failed node to its saved pre-failure capacity row;
 	// FailNode populates it, RestoreNode consumes it.
 	failed map[int][]int
+	// tidx, when non-nil, is the attached tier-aggregate index over the
+	// live remain matrix (see AttachTierIndex); every mutator keeps it in
+	// sync under the same lock. tixDeltas is its reusable row-delta
+	// scratch for FailNode/RestoreNode.
+	tidx      *affinity.TierIndex
+	tixDeltas []int
 }
 
 // New creates an inventory for nodes × types with zero capacity everywhere.
@@ -117,11 +124,18 @@ func (inv *Inventory) SetCapacity(node topology.NodeID, vt model.VMTypeID, k int
 		return fmt.Errorf("inventory: node %d already has %d allocated VMs of type %d, cannot shrink capacity to %d",
 			i, inv.alloc[i][j], j, k)
 	}
+	if _, down := inv.failed[i]; down {
+		// The node's real capacity is the row saved by FailNode; resizing
+		// the zeroed live row would be silently undone — and would corrupt
+		// the availability vector — when RestoreNode reinstates it.
+		return fmt.Errorf("inventory: node %d is failed, restore it before resizing", i)
+	}
 	old := inv.max[i][j]
 	inv.max[i][j] = k
 	inv.remain[i][j] = k - inv.alloc[i][j]
 	inv.avail[j] += k - old
-	inv.version++
+	inv.tixApply(node, vt, k-old)
+	inv.bumpLocked()
 	return nil
 }
 
@@ -240,9 +254,10 @@ func (inv *Inventory) Allocate(alloc [][]int) error {
 			inv.alloc[i][j] += k
 			inv.remain[i][j] -= k
 			inv.avail[j] -= k
+			inv.tixApply(topology.NodeID(i), model.VMTypeID(j), -k)
 		}
 	}
-	inv.version++
+	inv.bumpLocked()
 	return nil
 }
 
@@ -271,9 +286,10 @@ func (inv *Inventory) Release(alloc [][]int) error {
 			inv.alloc[i][j] -= k
 			inv.remain[i][j] += k
 			inv.avail[j] += k
+			inv.tixApply(topology.NodeID(i), model.VMTypeID(j), k)
 		}
 	}
-	inv.version++
+	inv.bumpLocked()
 	return nil
 }
 
@@ -315,7 +331,9 @@ func (inv *Inventory) Move(from, to topology.NodeID, vt model.VMTypeID) error {
 	inv.alloc[tn][j]++
 	inv.remain[tn][j]--
 	// avail is unchanged: one slot freed, one consumed.
-	inv.version++
+	inv.tixApply(from, vt, 1)
+	inv.tixApply(to, vt, -1)
+	inv.bumpLocked()
 	return nil
 }
 
@@ -338,6 +356,9 @@ func (inv *Inventory) FailNode(node topology.NodeID) ([]int, error) {
 	saved := append([]int(nil), inv.max[i]...)
 	lost := append([]int(nil), inv.alloc[i]...)
 	for j := 0; j < inv.types; j++ {
+		if inv.tidx != nil {
+			inv.tixDeltas[j] = -inv.remain[i][j]
+		}
 		inv.avail[j] -= inv.remain[i][j]
 		inv.max[i][j] = 0
 		inv.alloc[i][j] = 0
@@ -347,7 +368,8 @@ func (inv *Inventory) FailNode(node topology.NodeID) ([]int, error) {
 		inv.failed = make(map[int][]int)
 	}
 	inv.failed[i] = saved
-	inv.version++
+	inv.tixApplyRow(node, inv.tixDeltas)
+	inv.bumpLocked()
 	return lost, nil
 }
 
@@ -369,9 +391,13 @@ func (inv *Inventory) RestoreNode(node topology.NodeID) error {
 		inv.max[i][j] = saved[j]
 		inv.remain[i][j] = saved[j]
 		inv.avail[j] += saved[j]
+		if inv.tidx != nil {
+			inv.tixDeltas[j] = saved[j]
+		}
 	}
 	delete(inv.failed, i)
-	inv.version++
+	inv.tixApplyRow(node, inv.tixDeltas)
+	inv.bumpLocked()
 	return nil
 }
 

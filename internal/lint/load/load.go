@@ -9,11 +9,19 @@
 // way `go test` compiles them, so test helpers are linted too. External
 // test packages (package foo_test) are loaded as their own unit with the
 // import path "<pkgpath>.test".
+//
+// Files carry build constraints: a //go:build race file and its !race
+// twin declare the same names, so loading both would be a redeclaration
+// error. LoadDir evaluates each file's //go:build line against the
+// default build configuration (GOOS, GOARCH, gc, go1.x; optional tags
+// like "race" unset) and skips excluded files, matching what a plain
+// `go build` would compile.
 package load
 
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -21,6 +29,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -138,6 +147,9 @@ func (ld *Loader) LoadDir(dir, pkgPath string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if buildExcluded(f) {
+			continue
+		}
 		byName[f.Name.Name] = append(byName[f.Name.Name], f)
 	}
 	names := make([]string, 0, len(byName))
@@ -159,6 +171,47 @@ func (ld *Loader) LoadDir(dir, pkgPath string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// buildExcluded reports whether f's //go:build line (the modern form;
+// gofmt keeps legacy // +build lines in sync with it) rules the file out
+// of the default build configuration. Only comments before the package
+// clause count, per the constraint placement rule.
+func buildExcluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint is the build system's problem,
+				// not the linter's; keep the file so type errors surface.
+				return false
+			}
+			return !expr.Eval(defaultBuildTag)
+		}
+	}
+	return false
+}
+
+// defaultBuildTag is the tag environment of an ordinary `go build`:
+// the host GOOS/GOARCH, the gc compiler, every released go1.x version,
+// and "unix" on the platforms that define it. Optional tags such as
+// "race", "integration", or custom gates are false.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return runtime.GOOS == "linux" || runtime.GOOS == "darwin" ||
+			strings.HasSuffix(runtime.GOOS, "bsd") || runtime.GOOS == "solaris" ||
+			runtime.GOOS == "illumos" || runtime.GOOS == "aix"
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func (ld *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error) {

@@ -1,0 +1,75 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module so LoadDir can be
+// exercised against real files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A //go:build race file and its !race twin declare the same name; the
+// loader must pick exactly the default-build side or type-checking
+// reports a redeclaration. This is the real layout of the repo's
+// raceEnabled gate.
+func TestLoadDirSkipsBuildExcludedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p.go":        "package p\n\nvar _ = raceEnabled\n",
+		"race_on.go":  "//go:build race\n\npackage p\n\nconst raceEnabled = true\n",
+		"race_off.go": "//go:build !race\n\npackage p\n\nconst raceEnabled = false\n",
+	})
+	pkgs, err := NewLoader().LoadDir(dir, "scratch")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	names := map[string]bool{}
+	for _, f := range pkgs[0].Files {
+		names[filepath.Base(pkgs[0].Fset.File(f.Pos()).Name())] = true
+	}
+	if !names["race_off.go"] || names["race_on.go"] {
+		t.Fatalf("loaded files %v, want race_off.go kept and race_on.go skipped", names)
+	}
+	c := pkgs[0].Types.Scope().Lookup("raceEnabled")
+	if c == nil {
+		t.Fatal("raceEnabled not in package scope")
+	}
+}
+
+// Default-configuration tags (host GOOS/GOARCH, gc, go1.x) must keep a
+// file in; constraints naming only foreign platforms must drop it.
+func TestLoadDirHonorsPlatformTags(t *testing.T) {
+	other := "windows"
+	if runtime.GOOS == "windows" {
+		other = "linux"
+	}
+	dir := writeModule(t, map[string]string{
+		"p.go":       "package p\n\nvar _ = hostOnly\n",
+		"host.go":    "//go:build " + runtime.GOOS + " && " + runtime.GOARCH + " && gc && go1.22\n\npackage p\n\nconst hostOnly = 1\n",
+		"foreign.go": "//go:build " + other + "\n\npackage p\n\nconst hostOnly = 2\n",
+	})
+	pkgs, err := NewLoader().LoadDir(dir, "scratch")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	for _, f := range pkgs[0].Files {
+		if filepath.Base(pkgs[0].Fset.File(f.Pos()).Name()) == "foreign.go" {
+			t.Fatalf("foreign-GOOS file was loaded")
+		}
+	}
+}

@@ -141,6 +141,7 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 		return nil, fmt.Errorf("migration: residual has %d rows, topology has %d nodes", len(residual), t.Nodes())
 	}
 	work := make([]affinity.Allocation, len(clusters))
+	evs := make([]*affinity.DistanceEvaluator, len(clusters))
 	for i, c := range clusters {
 		if c == nil {
 			continue
@@ -149,6 +150,7 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 			return nil, fmt.Errorf("migration: cluster %d has %d rows, topology has %d nodes", i, len(c), t.Nodes())
 		}
 		work[i] = c.Clone()
+		evs[i] = affinity.NewDistanceEvaluator(t, work[i])
 	}
 	free := make([][]int, len(residual))
 	for i := range residual {
@@ -161,7 +163,7 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 	}
 	plan := &Plan{}
 	for len(plan.Moves) < maxMoves {
-		mv, ok := p.bestMove(t, free, work)
+		mv, ok := p.bestMove(t, free, work, evs)
 		if !ok || mv.Gain <= p.Config.MinGain {
 			break
 		}
@@ -169,6 +171,10 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 			break
 		}
 		p.applyTo(work, free, mv)
+		evs[mv.Cluster].Move(mv.From, mv.To)
+		if mv.Kind == Swap {
+			evs[mv.Peer].Move(mv.To, mv.From)
+		}
 		plan.Moves = append(plan.Moves, mv)
 		plan.TotalGain += mv.Gain
 		plan.TotalCost += mv.CostMB
@@ -184,7 +190,11 @@ func (p *Planner) Plan(t *topology.Topology, residual [][]int, clusters []affini
 }
 
 // bestMove scans all relocations and swaps for the single largest gain.
-func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affinity.Allocation) (Move, bool) {
+// Candidates are priced through the clusters' maintained distance
+// evaluators (MovePreview) instead of mutate-and-revert full recomputation;
+// the scan order, strict-improvement threshold, and first-wins tie handling
+// are unchanged, so the chosen move is identical.
+func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affinity.Allocation, evs []*affinity.DistanceEvaluator) (Move, bool) {
 	var best Move
 	found := false
 	consider := func(mv Move) {
@@ -199,7 +209,7 @@ func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affini
 		if c == nil {
 			continue
 		}
-		d0, _ := c.Distance(t)
+		d0, _ := evs[ci].Distance()
 		m := len(c[0])
 		for from := 0; from < n; from++ {
 			for j := 0; j < m; j++ {
@@ -210,11 +220,7 @@ func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affini
 					if to == from || free[to][j] == 0 {
 						continue
 					}
-					c.Remove(topology.NodeID(from), model.VMTypeID(j))
-					c.Add(topology.NodeID(to), model.VMTypeID(j))
-					d1, _ := c.Distance(t)
-					c.Remove(topology.NodeID(to), model.VMTypeID(j))
-					c.Add(topology.NodeID(from), model.VMTypeID(j))
+					d1, _ := evs[ci].MovePreview(topology.NodeID(from), topology.NodeID(to))
 					if gain := d0 - d1; gain > 1e-12 {
 						consider(Move{
 							Kind:    Relocate,
@@ -242,8 +248,8 @@ func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affini
 			if b == nil {
 				continue
 			}
-			da0, _ := a.Distance(t)
-			db0, _ := b.Distance(t)
+			da0, _ := evs[ai].Distance()
+			db0, _ := evs[bi].Distance()
 			m := len(a[0])
 			for pN := 0; pN < n; pN++ {
 				for qN := 0; qN < n; qN++ {
@@ -254,16 +260,8 @@ func (p *Planner) bestMove(t *topology.Topology, free [][]int, clusters []affini
 						if a[pN][j] == 0 || b[qN][j] == 0 {
 							continue
 						}
-						a.Remove(topology.NodeID(pN), model.VMTypeID(j))
-						a.Add(topology.NodeID(qN), model.VMTypeID(j))
-						b.Remove(topology.NodeID(qN), model.VMTypeID(j))
-						b.Add(topology.NodeID(pN), model.VMTypeID(j))
-						da1, _ := a.Distance(t)
-						db1, _ := b.Distance(t)
-						a.Remove(topology.NodeID(qN), model.VMTypeID(j))
-						a.Add(topology.NodeID(pN), model.VMTypeID(j))
-						b.Remove(topology.NodeID(pN), model.VMTypeID(j))
-						b.Add(topology.NodeID(qN), model.VMTypeID(j))
+						da1, _ := evs[ai].MovePreview(topology.NodeID(pN), topology.NodeID(qN))
+						db1, _ := evs[bi].MovePreview(topology.NodeID(qN), topology.NodeID(pN))
 						if gain := (da0 + db0) - (da1 + db1); gain > 1e-12 {
 							consider(Move{
 								Kind:    Swap,
@@ -353,7 +351,7 @@ func PlanReplacement(t *topology.Topology, residual [][]int, cluster affinity.Al
 	if len(residual) != n || len(cluster) != n {
 		return nil, fmt.Errorf("migration: residual has %d rows, cluster %d, topology %d nodes", len(residual), len(cluster), n)
 	}
-	work := cluster.Clone()
+	ev := affinity.NewDistanceEvaluator(t, cluster)
 	free := make([][]int, n)
 	for i := range residual {
 		free[i] = append([]int(nil), residual[i]...)
@@ -367,9 +365,7 @@ func PlanReplacement(t *topology.Topology, residual [][]int, cluster affinity.Al
 				if free[i][j] == 0 {
 					continue
 				}
-				work.Add(topology.NodeID(i), model.VMTypeID(j))
-				d, _ := work.Distance(t)
-				work.Remove(topology.NodeID(i), model.VMTypeID(j))
+				d, _ := ev.AddPreview(topology.NodeID(i))
 				if d < bestD {
 					bestD, best = d, i
 				}
@@ -377,7 +373,7 @@ func PlanReplacement(t *topology.Topology, residual [][]int, cluster affinity.Al
 			if best < 0 {
 				return nil, fmt.Errorf("%w: no node can host a type-%d replacement", ErrNoCapacity, j)
 			}
-			work.Add(topology.NodeID(best), model.VMTypeID(j))
+			ev.Add(topology.NodeID(best))
 			free[best][j]--
 			repl[best][j]++
 		}

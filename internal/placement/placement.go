@@ -11,7 +11,6 @@ package placement
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"slices"
 	"sync"
@@ -111,7 +110,40 @@ type OnlineHeuristic struct {
 	// Buffers are keyed by the (nodes, types) shape; a pooled buffer whose
 	// shape no longer matches is dropped rather than resized.
 	bufPool sync.Pool
+	// scanPool recycles the indexed-scan scratch (see tierscan.go), keyed
+	// by topology identity and type count.
+	scanPool sync.Pool
+	// densePool recycles the transient tier index the dense entry points
+	// rebuild over their caller's capacity matrix.
+	densePool sync.Pool
 }
+
+// denseScratch is a pooled transient TierIndex plus sparse staging for
+// dense ScanAllCenters calls that arrive without a persistent index.
+type denseScratch struct {
+	idx *affinity.TierIndex
+	sp  affinity.SparseAlloc
+}
+
+// getDense returns a transient index rebound over l — a pooled rebuild
+// when the shape matches, a fresh index otherwise.
+func (h *OnlineHeuristic) getDense(t *topology.Topology, l [][]int) (*denseScratch, error) {
+	if v := h.densePool.Get(); v != nil {
+		ds := v.(*denseScratch)
+		if ds.idx.Topology() == t && ds.idx.Types() == len(l[0]) {
+			if err := ds.idx.Rebind(l); err == nil {
+				return ds, nil
+			}
+		}
+	}
+	idx, err := affinity.NewTierIndex(t, l)
+	if err != nil {
+		return nil, err
+	}
+	return &denseScratch{idx: idx}, nil
+}
+
+func (h *OnlineHeuristic) putDense(ds *denseScratch) { h.densePool.Put(ds) }
 
 // placerMetrics are the resolved obs handles of a placer. The zero value
 // (all nil) is fully usable: every method is a nil-receiver no-op.
@@ -186,6 +218,30 @@ func (h *OnlineHeuristic) placeWith(t *topology.Topology, l [][]int, r model.Req
 		return nil, err
 	}
 
+	// ScanAllCenters runs on the tier-aggregated index: a transient one
+	// is rebuilt over l here (cost comparable to the old per-call
+	// aggregate scans); batch drivers and the inventory maintain
+	// persistent indexes and call placeSparseCore directly. Shapes the
+	// index cannot represent (request narrower than the matrix) fall
+	// through to the exhaustive reference scan, which is result-identical.
+	if h.Policy == ScanAllCenters && n > 0 && len(l[0]) == m {
+		ds, err := h.getDense(t, l)
+		if err == nil {
+			defer h.putDense(ds)
+			dc, _, fast, err := h.placeSparseCore(ds.idx, r, &ds.sp)
+			if err != nil {
+				return nil, err
+			}
+			if fast {
+				om.fastPath.Inc()
+				om.dc.Observe(0)
+			} else {
+				om.dc.Observe(dc)
+			}
+			return ds.sp.ToDense(), nil
+		}
+	}
+
 	// Fast path (Algorithm 1, lines 9–14): a single node covers R.
 	for i := 0; i < n; i++ {
 		if model.Covers(l[i], r) {
@@ -199,15 +255,7 @@ func (h *OnlineHeuristic) placeWith(t *topology.Topology, l [][]int, r model.Req
 
 	buf := h.getBuffer(n, m)
 	defer h.putBuffer(buf)
-	var (
-		best     affinity.Allocation
-		bestDist float64
-	)
-	if h.Policy == ScanAllCenters {
-		best, bestDist = h.placeRackProbe(t, l, r, buf)
-	} else {
-		best, bestDist = h.placeExhaustive(t, l, r, buf)
-	}
+	best, bestDist := h.placeExhaustive(t, l, r, buf)
 	if best == nil {
 		// Admission held, so aggregate capacity suffices; every center can
 		// reach every node, so construction cannot fail.
@@ -243,124 +291,6 @@ func (h *OnlineHeuristic) placeExhaustive(t *topology.Topology, l [][]int, r mod
 	return best, bestDist
 }
 
-// placeRackProbe is the tier-aggregated center scan. The build around any
-// center of rack ρ shares its per-rack VM totals with every other center
-// of ρ: the rack's own take per type is min(Σ_{i∈ρ}L_ij, R_j) regardless
-// of which member seeds it, and the remote fill order (tier, then supply,
-// then ID) is identical for all of them. Only the distribution inside ρ
-// differs, and within a rack S_k shrinks as the center's own VM count
-// grows, so the best achievable DC for rack ρ is realized by probing its
-// highest-capacity node. One probe build per rack therefore yields each
-// rack's exact best DC; the global winner is then pinned down by
-// re-building only inside racks that tie the minimum, preserving the
-// exhaustive scan's lowest-ID tie-break bit for bit.
-func (h *OnlineHeuristic) placeRackProbe(t *topology.Topology, l [][]int, r model.Request, buf *buildBuffer) (affinity.Allocation, float64) {
-	racks := t.Racks()
-	buf.ensureTopo(t)
-	// Per-node capacity against R (Σ_j min(L_ij, R_j)) and each rack's
-	// lowest-ID argmax: the probe center.
-	for i := range buf.nodeCap {
-		c := 0
-		li := l[i]
-		for j, need := range r {
-			if k := li[j]; k < need {
-				c += k
-			} else {
-				c += need
-			}
-		}
-		buf.nodeCap[i] = c
-	}
-	for rr := 0; rr < racks; rr++ {
-		buf.rackCapW[rr] = -1
-		buf.rackCapNode[rr] = -1
-		for _, id := range t.RackNodes(rr) {
-			if buf.nodeCap[id] > buf.rackCapW[rr] {
-				buf.rackCapW[rr] = buf.nodeCap[id]
-				buf.rackCapNode[rr] = id
-			}
-		}
-	}
-
-	// Probe one build per rack.
-	bestDC := math.Inf(1)
-	for rr := 0; rr < racks; rr++ {
-		if buf.rackCapNode[rr] < 0 { // rack without nodes
-			buf.rackDC[rr] = math.Inf(1)
-			continue
-		}
-		if !buf.buildAround(t, l, r, buf.rackCapNode[rr]) {
-			buf.reset()
-			buf.rackDC[rr] = math.Inf(1)
-			continue
-		}
-		dc, out := buf.scoreTier(t, rr)
-		buf.reset()
-		buf.rackDC[rr] = dc
-		buf.rackOut[rr] = out
-		if dc < bestDC {
-			bestDC = dc
-		}
-	}
-	if math.IsInf(bestDC, 1) {
-		return nil, 0
-	}
-
-	// Winner: the lowest-ID center achieving bestDC, looked for only inside
-	// racks that tie it. When the minimum comes from a hosting node outside
-	// the candidate rack, every center of that rack achieves it and the
-	// rack's lowest ID wins outright; otherwise a center achieves it iff its
-	// build concentrates the rack's max capacity on a single node, which its
-	// own capacity either proves or a re-build decides.
-	winner := topology.NodeID(-1)
-	for rr := 0; rr < racks; rr++ {
-		if buf.rackDC[rr] != bestDC {
-			continue
-		}
-		nodes := t.RackNodes(rr)
-		if winner >= 0 && nodes[0] > winner {
-			continue
-		}
-		if buf.rackOut[rr] == bestDC {
-			if winner < 0 || nodes[0] < winner {
-				winner = nodes[0]
-			}
-			continue
-		}
-		for _, c := range nodes {
-			if winner >= 0 && c > winner {
-				break
-			}
-			// A center matching the rack's max capacity reproduces the probe
-			// build's tier profile outright; any other needs a re-build and
-			// an exact re-price to decide.
-			if buf.nodeCap[c] == buf.rackCapW[rr] {
-				winner = c
-				break
-			}
-			if !buf.buildAround(t, l, r, c) {
-				buf.reset()
-				continue
-			}
-			dc, _ := buf.scoreTier(t, rr)
-			buf.reset()
-			if dc == bestDC {
-				winner = c
-				break
-			}
-		}
-	}
-
-	// Materialize the winning build.
-	if !buf.buildAround(t, l, r, winner) {
-		buf.reset()
-		return nil, 0
-	}
-	best := buf.alloc.Clone()
-	buf.reset()
-	return best, bestDC
-}
-
 // centerOrder yields candidate centers: identity order for the full scan,
 // or a random rotation for RandomCenter driven by the per-call generator.
 func (h *OnlineHeuristic) centerOrder(n int, rng *rand.Rand) []topology.NodeID {
@@ -390,30 +320,18 @@ type buildBuffer struct {
 	residual model.Request
 	cand     []topology.NodeID // near candidate scratch (peers / same cloud)
 	cand2    []topology.NodeID // far candidate scratch (cross cloud)
-
-	// Rack-probe scratch, sized lazily against the topology.
-	nodeCap     []int             // per-node Σ_j min(L_ij, R_j)
-	rackCapW    []int             // per-rack max nodeCap
-	rackCapNode []topology.NodeID // per-rack lowest-ID argmax nodeCap
-	rackDC      []float64         // per-rack probe DC
-	rackOut     []float64         // per-rack min S_k over hosts outside it
-	rackAgg     []int             // scoreTier: per-rack VM totals
-	bestW       []int             // scoreTier: per-rack max node load
-	cloudAgg    []int             // scoreTier: per-cloud VM totals
-	touched     []int             // scoreTier: racks hosting the build
 }
 
 func newBuildBuffer(n, m int) *buildBuffer {
 	return &buildBuffer{
-		n:       n,
-		m:       m,
-		alloc:   affinity.NewAllocation(n, m),
-		w:       make([]int, n),
-		hosts:   make([]topology.NodeID, 0, 8),
-		supply:  make([]int, n),
-		cand:    make([]topology.NodeID, 0, n),
-		cand2:   make([]topology.NodeID, 0, n),
-		nodeCap: make([]int, n),
+		n:      n,
+		m:      m,
+		alloc:  affinity.NewAllocation(n, m),
+		w:      make([]int, n),
+		hosts:  make([]topology.NodeID, 0, 8),
+		supply: make([]int, n),
+		cand:   make([]topology.NodeID, 0, n),
+		cand2:  make([]topology.NodeID, 0, n),
 	}
 }
 
@@ -428,68 +346,6 @@ func (h *OnlineHeuristic) getBuffer(n, m int) *buildBuffer {
 }
 
 func (h *OnlineHeuristic) putBuffer(b *buildBuffer) { h.bufPool.Put(b) }
-
-// ensureTopo sizes the rack/cloud scratch for t.
-func (b *buildBuffer) ensureTopo(t *topology.Topology) {
-	if racks := t.Racks(); len(b.rackCapW) < racks {
-		b.rackCapW = make([]int, racks)
-		b.rackCapNode = make([]topology.NodeID, racks)
-		b.rackDC = make([]float64, racks)
-		b.rackOut = make([]float64, racks)
-		b.rackAgg = make([]int, racks)
-		b.bestW = make([]int, racks)
-		b.touched = make([]int, 0, racks)
-	}
-	if clouds := t.Clouds(); len(b.cloudAgg) < clouds {
-		b.cloudAgg = make([]int, clouds)
-	}
-}
-
-// scoreTier prices the current build in O(hosts + clouds): fold the build
-// into per-rack and per-cloud VM totals, then evaluate Definition 1's
-// center sum S_k per hosting rack at its most-loaded node through
-// affinity.TierSum — the same expression DistanceOf uses, so the values
-// are bit-identical to a full scan. dc is the build's DC(C); out is the
-// minimum S_k over hosting nodes outside centerRack (+Inf when the build
-// lives entirely inside it).
-func (b *buildBuffer) scoreTier(t *topology.Topology, centerRack int) (dc, out float64) {
-	d := t.Distances()
-	total := 0
-	b.touched = b.touched[:0]
-	for _, h := range b.hosts {
-		rr := t.RackOf(h)
-		if b.rackAgg[rr] == 0 {
-			b.touched = append(b.touched, rr)
-			b.bestW[rr] = 0
-		}
-		w := b.w[h]
-		b.rackAgg[rr] += w
-		total += w
-		if w > b.bestW[rr] {
-			b.bestW[rr] = w
-		}
-	}
-	for c := range b.cloudAgg {
-		b.cloudAgg[c] = 0
-	}
-	for _, rr := range b.touched {
-		b.cloudAgg[t.CloudOfRack(rr)] += b.rackAgg[rr]
-	}
-	dc, out = math.Inf(1), math.Inf(1)
-	for _, rr := range b.touched {
-		s := affinity.TierSum(d, b.bestW[rr], b.rackAgg[rr], b.cloudAgg[t.CloudOfRack(rr)], total)
-		if s < dc {
-			dc = s
-		}
-		if rr != centerRack && s < out {
-			out = s
-		}
-	}
-	for _, rr := range b.touched {
-		b.rackAgg[rr] = 0
-	}
-	return dc, out
-}
 
 // reset clears only the cells the last build touched.
 func (b *buildBuffer) reset() {
@@ -709,30 +565,53 @@ func (g *GlobalSubOpt) PlaceBatch(t *topology.Topology, l [][]int, reqs []model.
 	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
 
 	// Step 2: sequential online placement, depleting the working capacity.
-	// Availability column totals are carried across requests — an accepted
-	// allocation delivers exactly R, so the admission test costs O(m)
-	// instead of an O(n·m) rescan of the working matrix.
-	var avail []int
-	for qi, r := range reqs {
-		if len(avail) != len(r) {
-			avail = available(work, len(r))
-		}
-		alloc, err := online.placeWith(t, work, r, avail)
+	// The default scan maintains one tier index across the batch, so each
+	// accepted allocation folds back in O(affected tiers) and admission
+	// reads the index's availability vector; other policies carry the
+	// availability column totals across requests instead.
+	if online.Policy == ScanAllCenters && uniformWidth(work, reqs) {
+		idx, err := affinity.NewTierIndex(t, work)
 		if err != nil {
-			if errors.Is(err, ErrInsufficient) {
-				res.Failed++
-				continue
-			}
 			return nil, err
 		}
-		res.Allocs[qi] = alloc
-		for i := range alloc {
-			for j, k := range alloc[i] {
-				work[i][j] -= k
+		var sp affinity.SparseAlloc
+		for qi, r := range reqs {
+			if _, _, err := online.placeSparseMetered(idx, r, &sp); err != nil {
+				if errors.Is(err, ErrInsufficient) {
+					res.Failed++
+					continue
+				}
+				return nil, err
+			}
+			res.Allocs[qi] = sp.ToDense()
+			for _, e := range sp.Entries {
+				work[e.Node][e.Type] -= e.Count
+				idx.Apply(e.Node, int(e.Type), -e.Count)
 			}
 		}
-		for j := range r {
-			avail[j] -= r[j]
+	} else {
+		var avail []int
+		for qi, r := range reqs {
+			if len(avail) != len(r) {
+				avail = available(work, len(r))
+			}
+			alloc, err := online.placeWith(t, work, r, avail)
+			if err != nil {
+				if errors.Is(err, ErrInsufficient) {
+					res.Failed++
+					continue
+				}
+				return nil, err
+			}
+			res.Allocs[qi] = alloc
+			for i := range alloc {
+				for j, k := range alloc[i] {
+					work[i][j] -= k
+				}
+			}
+			for j := range r {
+				avail[j] -= r[j]
+			}
 		}
 	}
 
@@ -907,9 +786,31 @@ func (g *GlobalSubOpt) swapPair(a, b affinity.Allocation, evA, evB *affinity.Dis
 	}
 }
 
+// uniformWidth reports whether every request spans exactly the matrix's
+// type dimension — the shape the persistent tier index covers.
+func uniformWidth(l [][]int, reqs []model.Request) bool {
+	if len(l) == 0 {
+		return false
+	}
+	m := len(l[0])
+	for _, r := range reqs {
+		if len(r) != m {
+			return false
+		}
+	}
+	return true
+}
+
 // PlaceSequential places a batch with any single-request placer, depleting
 // capacity between requests — the "online" arm of Figs. 5 and 6.
 func PlaceSequential(t *topology.Topology, l [][]int, reqs []model.Request, p Placer) (*BatchResult, error) {
+	// The default scan-all-centers heuristic runs over one persistent
+	// tier index maintained across the whole batch: each accepted
+	// allocation's cells are folded back in O(affected tiers), so no
+	// request after the first pays an aggregate rebuild.
+	if oh, ok := p.(*OnlineHeuristic); ok && oh.Policy == ScanAllCenters && uniformWidth(l, reqs) {
+		return placeSequentialIndexed(t, l, reqs, oh)
+	}
 	work := cloneMatrix(l)
 	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
 	// The online heuristic admits against caller-maintained column totals;
@@ -948,6 +849,39 @@ func PlaceSequential(t *topology.Topology, l [][]int, reqs []model.Request, p Pl
 			for j := range r {
 				avail[j] -= r[j]
 			}
+		}
+	}
+	return res, nil
+}
+
+// placeSequentialIndexed is PlaceSequential's indexed arm: one tier
+// index over the working matrix, updated incrementally per accepted
+// allocation. Results — allocations, totals, failure counts, metric
+// accounting — are identical to the legacy per-request path; the dc the
+// scan returns is bitwise the Allocation.Distance of the dense form, so
+// Total needs no rescan.
+func placeSequentialIndexed(t *topology.Topology, l [][]int, reqs []model.Request, oh *OnlineHeuristic) (*BatchResult, error) {
+	work := cloneMatrix(l)
+	res := &BatchResult{Allocs: make([]affinity.Allocation, len(reqs))}
+	idx, err := affinity.NewTierIndex(t, work)
+	if err != nil {
+		return nil, err
+	}
+	var sp affinity.SparseAlloc
+	for qi, r := range reqs {
+		dc, _, err := oh.placeSparseMetered(idx, r, &sp)
+		if err != nil {
+			if errors.Is(err, ErrInsufficient) {
+				res.Failed++
+				continue
+			}
+			return nil, err
+		}
+		res.Allocs[qi] = sp.ToDense()
+		res.Total += dc
+		for _, e := range sp.Entries {
+			work[e.Node][e.Type] -= e.Count
+			idx.Apply(e.Node, int(e.Type), -e.Count)
 		}
 	}
 	return res, nil

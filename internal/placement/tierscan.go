@@ -1,0 +1,935 @@
+// The tier-aggregated center scan over a persistent affinity.TierIndex —
+// the successor of the per-call rack-probe scan. Instead of building one
+// candidate allocation per rack, the scan prices every rack's best
+// achievable DC in closed form from the index aggregates and only
+// simulates builds inside the handful of racks that can define the
+// winner.
+//
+// Derivation. Algorithm 1's greedy fill is order-independent at the
+// aggregate level: whatever the center, rack ρ as a whole absorbs
+// exactly min(Σ_{i∈ρ} L_ij, R_j) VMs of type j, its cloud absorbs
+// min(Σ_{i∈cloud} L_ij, R_j), and the build totals T = Σ_j R_j. A
+// center c therefore yields, for its own rack,
+//
+//	inS(c) = TierSum(maxLoad(c), rackTot_ρ, cloudTot_cl(ρ), T)
+//
+// where maxLoad(c) ≤ w_ρ = max_{i∈ρ} Σ_j min(L_ij, R_j), with equality
+// when c is the rack's max-capacity node (the center always takes its
+// full com(L_c, R)). Since TierSum is non-increasing in each count
+// argument, the rack's best in-rack price is
+//
+//	S_probe(ρ) = TierSum(w_ρ, rackTot_ρ, cloudTot_cl(ρ), T)
+//
+// and every hosting node of every build — in ANY rack ρ', reached from
+// ANY center — prices at least S_probe(ρ'): its load, rack take and
+// cloud take are bounded by w_ρ', rackTot_ρ' and cloudTot_cl(ρ'). So
+//
+//	M = min over racks with rackTot > 0 of S_probe(ρ)
+//
+// is the exact optimum DC over all centers, computable from the index
+// in O(racks·m) with zero builds. The same monotonicity gives a cloud-
+// tier bound checked first: TierSum(ubW_c, ubRack_c, cloudTot_c, T)
+// with ubRack_c = min(CloudMaxRackSum, T, cloudTot_c) and ubW_c =
+// min(CloudMaxNodeTotal, ubRack_c) lower-bounds S_probe of every rack
+// in cloud c, so whole clouds are skipped without touching their racks.
+// Pruning always uses strict >, so exact ties are never discarded.
+//
+// The winner — the lowest-ID center achieving M, matching the
+// exhaustive scan's first-strict-improvement semantics bit for bit —
+// is found by walking racks in ascending lowest-node-ID order: the
+// build around a rack's lowest node is simulated and scored (its DC is
+// min(inS, out), and out, the best price over hosting nodes outside
+// the center's rack, is center-independent within a rack because the
+// post-rack-phase residual is); if that misses M and the rack ties
+// S_probe(ρ) == M, later centers of the rack are tested by in-rack
+// fill simulation alone, since out > M is already known. The walk
+// stops as soon as no remaining rack can hold a lower-ID center.
+//
+// Three further devices keep the walk sub-linear in nodes on a loaded
+// plant. Build simulations never scan the node population: the remote
+// fill drains racks through a bound-ordered heap (drainBucket),
+// expanding a rack to exact per-node supplies only when its aggregate
+// bound could hold the next take, so a build touches O(active racks)
+// instead of O(n). Saturated racks — the common prefix of the walk
+// under churn — share one simulation per cloud: a center whose rack
+// absorbs nothing produces a purely-remote build that is identical for
+// every such center in its cloud, so its DC is memoized. And partially
+// drained racks are skipped without any simulation when closed-form
+// floors prove both their in-rack and out-of-rack hosting prices
+// exceed M (see sweep).
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/topology"
+)
+
+// PlaceSparse places request r against the persistent tier index idx,
+// writing the allocation into dst (reset first; entries in take order)
+// and returning the allocation's DC and central node — bitwise equal to
+// Allocation.Distance of the dense form. The placer must use
+// ScanAllCenters; the index must be current for the matrix it aliases.
+// Steady-state calls are allocation-free once dst and the placer's
+// pooled scratch have grown to their working sizes.
+func (h *OnlineHeuristic) PlaceSparse(idx *affinity.TierIndex, r model.Request, dst *affinity.SparseAlloc) (float64, topology.NodeID, error) {
+	if h.Policy != ScanAllCenters {
+		return 0, -1, fmt.Errorf("placement: PlaceSparse requires ScanAllCenters, placer uses %q", h.Name())
+	}
+	return h.placeSparseMetered(idx, r, dst)
+}
+
+// placeSparseMetered runs the indexed core and maps the outcome onto
+// the placer's metrics, mirroring placeWith's accounting.
+func (h *OnlineHeuristic) placeSparseMetered(idx *affinity.TierIndex, r model.Request, dst *affinity.SparseAlloc) (float64, topology.NodeID, error) {
+	om := h.obsHandles()
+	om.calls.Inc()
+	dc, center, fast, err := h.placeSparseCore(idx, r, dst)
+	if err != nil {
+		if errors.Is(err, ErrInsufficient) {
+			om.infeasible.Inc()
+		}
+		return 0, -1, err
+	}
+	if fast {
+		om.fastPath.Inc()
+		om.dc.Observe(0)
+	} else {
+		om.dc.Observe(dc)
+	}
+	return dc, center, nil
+}
+
+// placeSparseCore runs admission, the single-node fast path and the
+// tier-aggregated center scan. No metrics; callers map the returned
+// fast flag and error onto their counters.
+func (h *OnlineHeuristic) placeSparseCore(idx *affinity.TierIndex, r model.Request, dst *affinity.SparseAlloc) (float64, topology.NodeID, bool, error) {
+	t := idx.Topology()
+	m := idx.Types()
+	if len(r) != m {
+		return 0, -1, false, fmt.Errorf("placement: request has %d types, index has %d", len(r), m)
+	}
+	if err := admitAvail(idx.Avail(), r); err != nil {
+		return 0, -1, false, err
+	}
+	dst.Reset(t.Nodes(), m)
+	T := 0
+	for _, v := range r {
+		T += v
+	}
+	d := t.Distances()
+	s := h.getScan(t, m)
+	defer h.putScan(s)
+
+	// Fast path (Algorithm 1, lines 9–14): the lowest-ID node covering R
+	// outright, found rack-by-rack through the per-rack column maxima.
+	if id, ok := s.fastCover(idx, r); ok {
+		for j, v := range r {
+			if v > 0 {
+				dst.Add(id, model.VMTypeID(j), v)
+			}
+		}
+		if T == 0 {
+			return 0, -1, true, nil
+		}
+		return float64(T) * d.SameNode, id, true, nil
+	}
+
+	M := s.scanBound(idx, r, T)
+	winner := s.sweep(idx, r, T, M)
+	if winner < 0 {
+		return 0, -1, false, fmt.Errorf("placement: internal error — no center achieves bound %g for request %v", M, r)
+	}
+	if !s.buildSim(idx, r, winner, dst, false) {
+		return 0, -1, false, fmt.Errorf("placement: internal error — no allocation built for feasible request %v", r)
+	}
+	dc, center := s.score(t, d, T)
+	return dc, center, false, nil
+}
+
+// scanScratch is the pooled working state of the indexed scan, sized to
+// one topology and type count.
+type scanScratch struct {
+	t *topology.Topology
+	m int
+
+	resid   []int             // m: working residual of the current sim
+	resid0  []int             // m: residual snapshot as the remote phase began
+	nodeSup []int             // n, lazy: per-candidate supply (written before read)
+	peers   []topology.NodeID // rack peers of the current center
+
+	rkHeap []int             // rack max-heap of the current remote bucket
+	rkUb   []int             // racks: supply upper bound keyed to resid0
+	ndHeap []topology.NodeID // node max-heap of opened racks
+
+	total     int               // VMs taken by the current sim
+	rackTake  []int             // racks: VMs taken per rack
+	rackMaxW  []int             // racks: largest single-node take
+	rackBest  []topology.NodeID // racks: lowest ID achieving rackMaxW
+	touched   []int             // racks with rackTake > 0
+	cloudTake []int             // clouds: VMs taken per cloud
+	tclouds   []int             // clouds with cloudTake > 0
+
+	cloudDC0  []float64 // clouds: memoized DC of the purely-remote build
+	cloudMemo []bool    // clouds: cloudDC0 valid for the current sweep
+	memoList  []int     // clouds with cloudMemo set, for O(set) reset
+}
+
+func newScanScratch(t *topology.Topology, m int) *scanScratch {
+	return &scanScratch{
+		t:         t,
+		m:         m,
+		resid:     make([]int, 0, m),
+		resid0:    make([]int, 0, m),
+		rkUb:      make([]int, t.Racks()),
+		rackTake:  make([]int, t.Racks()),
+		rackMaxW:  make([]int, t.Racks()),
+		rackBest:  make([]topology.NodeID, t.Racks()),
+		touched:   make([]int, 0, 16),
+		cloudTake: make([]int, t.Clouds()),
+		tclouds:   make([]int, 0, t.Clouds()),
+		cloudDC0:  make([]float64, t.Clouds()),
+		cloudMemo: make([]bool, t.Clouds()),
+		memoList:  make([]int, 0, t.Clouds()),
+	}
+}
+
+// getScan pulls a scratch matching (t, m) from the pool or builds one.
+func (h *OnlineHeuristic) getScan(t *topology.Topology, m int) *scanScratch {
+	if v := h.scanPool.Get(); v != nil {
+		if s := v.(*scanScratch); s.t == t && s.m == m {
+			return s
+		}
+	}
+	return newScanScratch(t, m)
+}
+
+func (h *OnlineHeuristic) putScan(s *scanScratch) { h.scanPool.Put(s) }
+
+// sup returns the lazily-sized per-node supply scratch. It is only
+// needed once a build leaves the fast path, so plants that never spill
+// past their racks stay O(racks) in memory touched per request.
+func (s *scanScratch) sup() []int {
+	if len(s.nodeSup) < s.t.Nodes() {
+		s.nodeSup = make([]int, s.t.Nodes())
+	}
+	return s.nodeSup
+}
+
+// fastCover finds the lowest-ID node whose row covers r, scanning racks
+// in ascending lowest-node order and descending into a rack only when
+// its per-type column maxima pass the covering test.
+func (s *scanScratch) fastCover(idx *affinity.TierIndex, r model.Request) (topology.NodeID, bool) {
+	t := s.t
+	l := idx.Matrix()
+	best := topology.NodeID(-1)
+	for _, rr := range t.RacksByLowestNode() {
+		nodes := t.RackNodes(rr)
+		if best >= 0 && nodes[0] > best {
+			break
+		}
+		mc := idx.RackMaxCol(rr)
+		ok := true
+		for j, need := range r {
+			if mc[j] < need {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, id := range nodes {
+			if best >= 0 && id > best {
+				break
+			}
+			if model.Covers(l[id], r) {
+				best = id
+				break
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+// rackProbe returns rack ρ's absorbed total rackTot = Σ_j min(Σ_{i∈ρ}
+// L_ij, R_j) and exact max single-node capacity w_ρ = max_{i∈ρ} Σ_j
+// min(L_ij, R_j). When no column maximum exceeds its R_j the per-node
+// minima are vacuous and w_ρ is the index's RackMaxTotal; otherwise the
+// rack's nodes are scanned.
+func (s *scanScratch) rackProbe(idx *affinity.TierIndex, r model.Request, rho int) (rackTot, w int) {
+	rr := idx.RackRemain(rho)
+	mc := idx.RackMaxCol(rho)
+	capped := false
+	for j, need := range r {
+		if v := rr[j]; v < need {
+			rackTot += v
+		} else {
+			rackTot += need
+		}
+		if mc[j] > need {
+			capped = true
+		}
+	}
+	if !capped {
+		return rackTot, idx.RackMaxTotal(rho)
+	}
+	l := idx.Matrix()
+	for _, id := range s.t.RackNodes(rho) {
+		if nc := nodeCapOf(l[id], r); nc > w {
+			w = nc
+		}
+	}
+	return rackTot, w
+}
+
+// nodeCapOf is Σ_j min(L_ij, R_j) — how much of R one node can absorb.
+func nodeCapOf(li []int, r model.Request) int {
+	c := 0
+	for j, need := range r {
+		if k := li[j]; k < need {
+			c += k
+		} else {
+			c += need
+		}
+	}
+	return c
+}
+
+// rackTotOf is Σ_j min(Σ_{i∈ρ} L_ij, R_j) — rackProbe's rackTot without
+// the exact max-capacity scan.
+func rackTotOf(idx *affinity.TierIndex, r model.Request, rho int) int {
+	rr := idx.RackRemain(rho)
+	tot := 0
+	for j, need := range r {
+		if v := rr[j]; v < need {
+			tot += v
+		} else {
+			tot += need
+		}
+	}
+	return tot
+}
+
+// cloudTot is Σ_j min(Σ_{i∈cloud} L_ij, R_j).
+func cloudTotOf(idx *affinity.TierIndex, r model.Request, c int) int {
+	cr := idx.CloudRemain(c)
+	tot := 0
+	for j, need := range r {
+		if v := cr[j]; v < need {
+			tot += v
+		} else {
+			tot += need
+		}
+	}
+	return tot
+}
+
+// scanBound computes M, the exact optimum DC, from the index alone:
+// cloud-tier bounds first, rack-tier bounds inside surviving clouds,
+// exact S_probe only for racks whose bound still ties or beats the
+// incumbent. Strict-> pruning keeps exact ties alive.
+func (s *scanScratch) scanBound(idx *affinity.TierIndex, r model.Request, T int) float64 {
+	t := s.t
+	d := t.Distances()
+	M := math.Inf(1)
+	for c := 0; c < t.Clouds(); c++ {
+		ct := cloudTotOf(idx, r, c)
+		if ct == 0 {
+			continue
+		}
+		ubRack := idx.CloudMaxRackSum(c)
+		if ubRack > T {
+			ubRack = T
+		}
+		if ubRack > ct {
+			ubRack = ct
+		}
+		ubW := idx.CloudMaxNodeTotal(c)
+		if ubW > ubRack {
+			ubW = ubRack
+		}
+		if affinity.TierSum(d, ubW, ubRack, ct, T) > M {
+			continue
+		}
+		for _, rho := range t.CloudRacks(c) {
+			rr := idx.RackRemain(rho)
+			mc := idx.RackMaxCol(rho)
+			rackTot := 0
+			wUb := 0
+			for j, need := range r {
+				if v := rr[j]; v < need {
+					rackTot += v
+				} else {
+					rackTot += need
+				}
+				if v := mc[j]; v < need {
+					wUb += v
+				} else {
+					wUb += need
+				}
+			}
+			if rackTot == 0 {
+				continue
+			}
+			if v := idx.RackMaxTotal(rho); v < wUb {
+				wUb = v
+			}
+			if wUb > rackTot {
+				wUb = rackTot
+			}
+			if affinity.TierSum(d, wUb, rackTot, ct, T) > M {
+				continue
+			}
+			_, w := s.rackProbe(idx, r, rho)
+			if S := affinity.TierSum(d, w, rackTot, ct, T); S < M {
+				M = S
+			}
+		}
+	}
+	return M
+}
+
+// sweep finds the lowest-ID center whose build achieves DC == M. Racks
+// are visited in ascending lowest-node order; each rack's lowest node
+// is judged by a full build simulation (covering both the in-rack price
+// and the center-independent out-of-rack price), and only racks tying
+// S_probe == M scan further centers, by in-rack simulation alone.
+//
+// Racks that absorb nothing of R — common under churn, where the walk
+// crosses a prefix of saturated racks before reaching free capacity —
+// collapse to one simulation per cloud: such a center takes nothing at
+// home (per-type rack remain and R meet in no column, so every node row
+// meets R in no column either), its rack contributes only zero-supply
+// candidates to everyone else, and the purely-remote fill that results
+// is therefore identical for every empty-rack center of the cloud. Its
+// DC is memoized per cloud for the duration of one sweep.
+// A rack that absorbs some of R but prices S_probe above M can still
+// host the winner only through an out-of-rack hosting node, and that
+// node's price has a closed-form floor: it loads at most W* (the
+// largest request-clamped node capacity anywhere), its rack takes at
+// most amax = min(R*, T−h) VMs (R* the largest rack absorption
+// anywhere; h = rackTot_ρ VMs stay home), and its cloud at most T. By
+// TierSum's monotonicity — valid under the validated tier ordering —
+// TierSum(min(W*, amax), amax, T, T) > M proves no remote host reaches
+// M either, and the rack is skipped without simulating.
+func (s *scanScratch) sweep(idx *affinity.TierIndex, r model.Request, T int, M float64) topology.NodeID {
+	t := s.t
+	d := t.Distances()
+	l := idx.Matrix()
+	for _, c := range s.memoList {
+		s.cloudMemo[c] = false
+	}
+	s.memoList = s.memoList[:0]
+	mono := d.SameNode <= d.SameRack && d.SameRack <= d.CrossRack && d.CrossRack <= d.CrossCloud
+	wStar, rStar := 0, 0
+	if mono {
+		for rho := 0; rho < t.Racks(); rho++ {
+			mc := idx.RackMaxCol(rho)
+			rr := idx.RackRemain(rho)
+			wv, rv := 0, 0
+			for j, need := range r {
+				if v := mc[j]; v < need {
+					wv += v
+				} else {
+					wv += need
+				}
+				if v := rr[j]; v < need {
+					rv += v
+				} else {
+					rv += need
+				}
+			}
+			if wv > wStar {
+				wStar = wv
+			}
+			if rv > rStar {
+				rStar = rv
+			}
+		}
+	}
+	winner := topology.NodeID(-1)
+	for _, rho := range t.RacksByLowestNode() {
+		nodes := t.RackNodes(rho)
+		if winner >= 0 && nodes[0] > winner {
+			break
+		}
+		h := rackTotOf(idx, r, rho)
+		if h == 0 {
+			cl := t.CloudOfRack(rho)
+			if !s.cloudMemo[cl] {
+				dc0 := math.Inf(1)
+				if s.buildSim(idx, r, nodes[0], nil, false) {
+					dc0, _ = s.score(t, d, T)
+				}
+				s.cloudDC0[cl] = dc0
+				s.cloudMemo[cl] = true
+				s.memoList = append(s.memoList, cl)
+			}
+			if s.cloudDC0[cl] == M {
+				winner = nodes[0]
+			}
+			continue
+		}
+		if mono {
+			// In-rack floor first: wUb ≥ w_ρ makes the TierSum a lower
+			// bound on S_probe, so Slb > M certifies every in-rack host
+			// prices above M without the exact max-capacity scan.
+			mc := idx.RackMaxCol(rho)
+			wUb := 0
+			for j, need := range r {
+				if v := mc[j]; v < need {
+					wUb += v
+				} else {
+					wUb += need
+				}
+			}
+			if v := idx.RackMaxTotal(rho); v < wUb {
+				wUb = v
+			}
+			if wUb > h {
+				wUb = h
+			}
+			ct := cloudTotOf(idx, r, t.CloudOfRack(rho))
+			if affinity.TierSum(d, wUb, h, ct, T) > M {
+				amax := T - h
+				if rStar < amax {
+					amax = rStar
+				}
+				wb := wStar
+				if wb > amax {
+					wb = amax
+				}
+				if affinity.TierSum(d, wb, amax, T, T) > M {
+					continue
+				}
+			}
+		}
+		if !s.buildSim(idx, r, nodes[0], nil, false) {
+			continue
+		}
+		if dc0, _ := s.score(t, d, T); dc0 == M {
+			winner = nodes[0]
+			continue
+		}
+		rackTot, w := s.rackProbe(idx, r, rho)
+		ct := cloudTotOf(idx, r, t.CloudOfRack(rho))
+		if affinity.TierSum(d, w, rackTot, ct, T) != M {
+			continue
+		}
+		// S_probe ties M but the lowest node missed it, so out > M and a
+		// center wins iff its in-rack fill concentrates w on one node. A
+		// center whose own capacity is w proves that outright; the rack's
+		// max-capacity node guarantees termination.
+		for _, c := range nodes[1:] {
+			if winner >= 0 && c > winner {
+				break
+			}
+			if nodeCapOf(l[c], r) == w {
+				winner = c
+				break
+			}
+			s.buildSim(idx, r, c, nil, true)
+			if affinity.TierSum(d, s.rackMaxW[rho], rackTot, ct, T) == M {
+				winner = c
+				break
+			}
+		}
+	}
+	return winner
+}
+
+// resetTallies clears only the cells the previous simulation touched.
+func (s *scanScratch) resetTallies() {
+	for _, rr := range s.touched {
+		s.rackTake[rr] = 0
+	}
+	for _, c := range s.tclouds {
+		s.cloudTake[c] = 0
+	}
+	s.touched = s.touched[:0]
+	s.tclouds = s.tclouds[:0]
+	s.total = 0
+}
+
+// take absorbs com(L_i, residual) into the tallies (and dst when
+// non-nil), mirroring buildBuffer.take. Reports full coverage.
+func (s *scanScratch) take(l [][]int, i topology.NodeID, dst *affinity.SparseAlloc) bool {
+	taken, left := 0, 0
+	li := l[i]
+	for j, need := range s.resid {
+		if need > 0 {
+			k := li[j]
+			if k > need {
+				k = need
+			}
+			if k > 0 {
+				s.resid[j] = need - k
+				if dst != nil {
+					dst.Add(i, model.VMTypeID(j), k)
+				}
+				taken += k
+			}
+			left += need - k
+		}
+	}
+	if taken > 0 {
+		rr := s.t.RackOf(i)
+		if s.rackTake[rr] == 0 {
+			s.touched = append(s.touched, rr)
+			s.rackMaxW[rr], s.rackBest[rr] = taken, i
+		} else if taken > s.rackMaxW[rr] || (taken == s.rackMaxW[rr] && i < s.rackBest[rr]) {
+			s.rackMaxW[rr], s.rackBest[rr] = taken, i
+		}
+		s.rackTake[rr] += taken
+		cl := s.t.CloudOf(i)
+		if s.cloudTake[cl] == 0 {
+			s.tclouds = append(s.tclouds, cl)
+		}
+		s.cloudTake[cl] += taken
+		s.total += taken
+	}
+	return left == 0
+}
+
+// supplyOf is Σ_j min(L_ij, residual_j).
+func (s *scanScratch) supplyOf(li []int) int {
+	v := 0
+	for j, need := range s.resid {
+		if k := li[j]; k < need {
+			v += k
+		} else {
+			v += need
+		}
+	}
+	return v
+}
+
+// buildSim replays Algorithm 1's greedy fill around center into the
+// tallies (and dst when non-nil): center first, rack peers by
+// descending supply then ID, then remote nodes bucketed by distance
+// tier with all supplies keyed to the residual as the remote phase
+// began — the exact take order of buildBuffer.buildAround. rackOnly
+// stops after the rack phase (the caller only needs the in-rack load
+// profile). Reports whether the residual was fully covered.
+func (s *scanScratch) buildSim(idx *affinity.TierIndex, r model.Request, center topology.NodeID, dst *affinity.SparseAlloc, rackOnly bool) bool {
+	t := s.t
+	l := idx.Matrix()
+	s.resetTallies()
+	s.resid = append(s.resid[:0], r...)
+	if s.take(l, center, dst) {
+		return true
+	}
+	cRack := t.RackOf(center)
+	sup := s.sup()
+	s.peers = s.peers[:0]
+	for _, id := range t.RackNodes(cRack) {
+		if id != center {
+			sup[id] = s.supplyOf(l[id])
+			s.peers = append(s.peers, id)
+		}
+	}
+	sortBySupply(s.peers, sup)
+	for _, id := range s.peers {
+		if s.take(l, id, dst) {
+			return true
+		}
+	}
+	if rackOnly {
+		return false
+	}
+	// Remote phase. All candidate supplies are keyed to the residual as
+	// this phase begins (buildAround computes every supply before the
+	// first remote take), so snapshot it and drain the distance buckets
+	// lazily: racks enter a bucket with a supply upper bound from the
+	// index and are only expanded to exact per-node supplies when that
+	// bound could beat the best opened node.
+	s.resid0 = append(s.resid0[:0], s.resid...)
+	cCloud := t.CloudOf(center)
+	d := t.Distances()
+	switch {
+	case d.CrossCloud < d.CrossRack: // degenerate tiering: far is closer
+		if s.gatherFar(idx, cCloud); s.drainBucket(idx, l, dst) {
+			return true
+		}
+		if s.gatherNear(idx, cCloud, cRack); s.drainBucket(idx, l, dst) {
+			return true
+		}
+	case d.CrossCloud == d.CrossRack: // one merged tier
+		s.rkHeap = s.rkHeap[:0]
+		for rho := 0; rho < t.Racks(); rho++ {
+			if rho != cRack {
+				s.pushRackUb(idx, rho)
+			}
+		}
+		if s.drainBucket(idx, l, dst) {
+			return true
+		}
+	default:
+		if s.gatherNear(idx, cCloud, cRack); s.drainBucket(idx, l, dst) {
+			return true
+		}
+		if s.gatherFar(idx, cCloud); s.drainBucket(idx, l, dst) {
+			return true
+		}
+	}
+	for _, need := range s.resid {
+		if need > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherNear loads the same-cloud bucket (minus the center's rack) into
+// the rack heap; gatherFar loads every other cloud's racks, skipping
+// clouds whose aggregate remain cannot supply anything. Bounds key to
+// resid0, so a rack with ub == 0 holds only zero-supply nodes — the
+// greedy never takes from those, so dropping them leaves the take
+// sequence unchanged.
+func (s *scanScratch) gatherNear(idx *affinity.TierIndex, cCloud, cRack int) {
+	s.rkHeap = s.rkHeap[:0]
+	for _, rho := range s.t.CloudRacks(cCloud) {
+		if rho != cRack {
+			s.pushRackUb(idx, rho)
+		}
+	}
+}
+
+func (s *scanScratch) gatherFar(idx *affinity.TierIndex, cCloud int) {
+	s.rkHeap = s.rkHeap[:0]
+	for c := 0; c < s.t.Clouds(); c++ {
+		if c == cCloud {
+			continue
+		}
+		cr := idx.CloudRemain(c)
+		sup := 0
+		for j, need := range s.resid0 {
+			if v := cr[j]; v < need {
+				sup += v
+			} else {
+				sup += need
+			}
+		}
+		if sup == 0 {
+			continue
+		}
+		for _, rho := range s.t.CloudRacks(c) {
+			s.pushRackUb(idx, rho)
+		}
+	}
+}
+
+// pushRackUb appends rho to the rack heap (unordered; drainBucket
+// heapifies) with its supply upper bound Σ_j min(RackMaxCol_j, resid0_j)
+// unless that bound is zero.
+func (s *scanScratch) pushRackUb(idx *affinity.TierIndex, rho int) {
+	mc := idx.RackMaxCol(rho)
+	ub := 0
+	for j, need := range s.resid0 {
+		if v := mc[j]; v < need {
+			ub += v
+		} else {
+			ub += need
+		}
+	}
+	if ub > 0 {
+		s.rkUb[rho] = ub
+		s.rkHeap = append(s.rkHeap, rho)
+	}
+}
+
+// drainBucket takes from the gathered racks in exactly the order the
+// eager scan's global sort produces — supply descending, node ID
+// ascending, supplies keyed to resid0 — expanding a rack only when its
+// bound says it may hold the next node: any node in an unopened rack
+// has supply ≤ ub < the open maximum, or ties it with a strictly higher
+// ID (rack node IDs are contiguous and start at the rack's lowest), and
+// so sorts after it. Reports whether the residual reached zero.
+func (s *scanScratch) drainBucket(idx *affinity.TierIndex, l [][]int, dst *affinity.SparseAlloc) bool {
+	for root := len(s.rkHeap)/2 - 1; root >= 0; root-- {
+		s.siftRack(root)
+	}
+	s.ndHeap = s.ndHeap[:0]
+	sup := s.sup()
+	for {
+		for len(s.rkHeap) > 0 {
+			top := s.rkHeap[0]
+			if len(s.ndHeap) > 0 {
+				h := s.ndHeap[0]
+				if s.rkUb[top] < sup[h] || (s.rkUb[top] == sup[h] && s.t.RackNodes(top)[0] > h) {
+					break
+				}
+			}
+			s.popRack()
+			for _, id := range s.t.RackNodes(top) {
+				if v := s.supply0(l[id]); v > 0 {
+					sup[id] = v
+					s.pushNode(id)
+				}
+			}
+		}
+		if len(s.ndHeap) == 0 {
+			return false
+		}
+		if s.take(l, s.popNode(), dst) {
+			return true
+		}
+	}
+}
+
+// supply0 is Σ_j min(L_ij, resid0_j) — supplyOf against the remote
+// phase's residual snapshot.
+func (s *scanScratch) supply0(li []int) int {
+	v := 0
+	for j, need := range s.resid0 {
+		if k := li[j]; k < need {
+			v += k
+		} else {
+			v += need
+		}
+	}
+	return v
+}
+
+// rackBefore orders the rack heap: supply bound descending, ties by
+// ascending lowest node ID (so a tied rack that could still supply a
+// lower-ID node is opened before that node is taken).
+func (s *scanScratch) rackBefore(a, b int) bool {
+	if s.rkUb[a] != s.rkUb[b] {
+		return s.rkUb[a] > s.rkUb[b]
+	}
+	return s.t.RackNodes(a)[0] < s.t.RackNodes(b)[0]
+}
+
+func (s *scanScratch) siftRack(root int) {
+	h := s.rkHeap
+	n := len(h)
+	for {
+		c := 2*root + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && s.rackBefore(h[c+1], h[c]) {
+			c++
+		}
+		if !s.rackBefore(h[c], h[root]) {
+			return
+		}
+		h[root], h[c] = h[c], h[root]
+		root = c
+	}
+}
+
+func (s *scanScratch) popRack() int {
+	h := s.rkHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.rkHeap = h[:last]
+	s.siftRack(0)
+	return top
+}
+
+// nodeBefore orders the node heap: exact supply descending, ties by
+// ascending node ID — the same strict total order sortBySupply uses.
+func (s *scanScratch) nodeBefore(a, b topology.NodeID) bool {
+	if s.nodeSup[a] != s.nodeSup[b] {
+		return s.nodeSup[a] > s.nodeSup[b]
+	}
+	return a < b
+}
+
+func (s *scanScratch) pushNode(id topology.NodeID) {
+	s.ndHeap = append(s.ndHeap, id)
+	h := s.ndHeap
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.nodeBefore(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *scanScratch) popNode() topology.NodeID {
+	h := s.ndHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	s.ndHeap = h
+	for root := 0; ; {
+		c := 2*root + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && s.nodeBefore(h[c+1], h[c]) {
+			c++
+		}
+		if !s.nodeBefore(h[c], h[root]) {
+			break
+		}
+		h[root], h[c] = h[c], h[root]
+		root = c
+	}
+	return top
+}
+
+// score prices the current tallies exactly as affinity.DistanceOf does:
+// per touched rack the max-loaded (lowest-ID) node, min across racks
+// with ties toward the lowest node ID.
+func (s *scanScratch) score(t *topology.Topology, d topology.Distances, total int) (float64, topology.NodeID) {
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	for _, rr := range s.touched {
+		sv := affinity.TierSum(d, s.rackMaxW[rr], s.rackTake[rr], s.cloudTake[t.CloudOfRack(rr)], total)
+		if sv < best || (sv == best && s.rackBest[rr] < bestK) {
+			best, bestK = sv, s.rackBest[rr]
+		}
+	}
+	return best, bestK
+}
+
+// sortBySupply orders ids by supply descending, ties by ascending ID —
+// the same strict total order buildBuffer.bySupply defines, so any
+// correct sort yields the same sequence. Heapsort keeps the scan
+// allocation-free without leaning on closure escape analysis.
+func sortBySupply(ids []topology.NodeID, sup []int) {
+	after := func(a, b topology.NodeID) bool { // a sorts after b
+		if sup[a] != sup[b] {
+			return sup[a] < sup[b]
+		}
+		return a > b
+	}
+	n := len(ids)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftSupply(ids, sup, root, n, after)
+	}
+	for end := n - 1; end > 0; end-- {
+		ids[0], ids[end] = ids[end], ids[0]
+		siftSupply(ids, sup, 0, end, after)
+	}
+}
+
+func siftSupply(ids []topology.NodeID, sup []int, root, end int, after func(a, b topology.NodeID) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && after(ids[child+1], ids[child]) {
+			child++
+		}
+		if !after(ids[child], ids[root]) {
+			return
+		}
+		ids[root], ids[child] = ids[child], ids[root]
+		root = child
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // NodeID indexes a physical node within a Topology. IDs are dense in
@@ -70,6 +71,12 @@ type Topology struct {
 	clouds    int
 	rackNodes [][]NodeID // nodes grouped by rack, ascending IDs
 	rackCloud []int      // cloud index per rack (-1 for an empty rack)
+	// cloudRacks groups the non-empty racks of each cloud, ascending rack
+	// index; racksByLowID orders all non-empty racks by their lowest node
+	// ID. Both are derived once at construction for the tier-aggregated
+	// center scan, which walks clouds then racks instead of nodes.
+	cloudRacks [][]int
+	racksByLow []int
 	// flat is the materialized row-major n×n distance table, so the hot
 	// Distance path is an array load instead of rack/cloud branch logic.
 	// It is nil above flatTableMaxNodes, where the O(n²) memory would
@@ -193,6 +200,18 @@ func (t *Topology) buildRackCloud() {
 		}
 		t.rackCloud[r] = t.cloudOf[t.rackNodes[r][0]]
 	}
+	t.cloudRacks = make([][]int, t.clouds)
+	t.racksByLow = t.racksByLow[:0]
+	for r, c := range t.rackCloud {
+		if c < 0 {
+			continue
+		}
+		t.cloudRacks[c] = append(t.cloudRacks[c], r)
+		t.racksByLow = append(t.racksByLow, r)
+	}
+	sort.Slice(t.racksByLow, func(a, b int) bool {
+		return t.rackNodes[t.racksByLow[a]][0] < t.rackNodes[t.racksByLow[b]][0]
+	})
 }
 
 // Uniform builds the symmetric topology used throughout the paper's
@@ -259,6 +278,15 @@ func (t *Topology) CloudOfRack(r int) int { return t.rackCloud[r] }
 
 // RackSize returns the number of nodes in rack r.
 func (t *Topology) RackSize(r int) int { return len(t.rackNodes[r]) }
+
+// CloudRacks returns the non-empty racks of cloud c in ascending rack
+// index. The returned slice must not be modified.
+func (t *Topology) CloudRacks(c int) []int { return t.cloudRacks[c] }
+
+// RacksByLowestNode returns every non-empty rack ordered by its lowest
+// node ID — the sweep order of the center scan's lowest-ID tie-break
+// reconstruction. The returned slice must not be modified.
+func (t *Topology) RacksByLowestNode() []int { return t.racksByLow }
 
 // Distances returns the tier constants of the topology.
 func (t *Topology) Distances() Distances { return t.dist }
