@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race bench bench-hot bench-json bench-churn verify clean
+.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race service-race bench bench-hot bench-json bench-churn bench-service verify clean
 
 all: build
 
@@ -53,6 +53,12 @@ faults-race:
 	$(GO) test -race ./internal/faults ./internal/cloudsim ./internal/experiments -run 'Fault|Crash|Teardown|Recovery'
 	$(GO) run -race ./cmd/affinitysim -fig faults > /dev/null
 
+# Placement-service gate: the concurrency-sensitive service tests (the
+# 64-client determinism property, the place/release hammer, and the
+# cloudsim serve-parity check) under the race detector.
+service-race:
+	$(GO) test -race ./internal/service ./internal/cloudsim -run 'Service|Ordered|Serve'
+
 # Full benchmark suite: every table/figure plus ablations.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -77,6 +83,15 @@ bench-json:
 bench-churn:
 	$(GO) test -run '^$$' -bench 'BenchmarkChurn' -benchmem -benchtime=100x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_churn.json
 	@cat BENCH_churn.json
+
+# Serving throughput (place + release round trips per second at 1, 8,
+# and 64 concurrent clients) recorded as machine-readable JSON. The
+# higher fixed iteration count amortizes client goroutine startup so the
+# figure reflects steady-state serving, not spawn cost; the run still
+# finishes in well under a second.
+bench-service:
+	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime=20000x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_service.json
+	@cat BENCH_service.json
 
 # The pre-merge gate: build, vet, lint, full tests, and the race detector.
 verify: build vet lint test race

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|all]
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|service|all]
 //	            [-mtbf N] [-mttr N]
 //	            [-metrics out.json] [-trace out.jsonl] [-pprof addr]
 package main
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
-	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, service, or all")
 	mtbf := flag.Float64("mtbf", 0, "faults figure: mean time between failures (0 = scenario default)")
 	mttr := flag.Float64("mttr", 0, "faults figure: mean time to repair (0 = scenario default)")
 	metricsPath := flag.String("metrics", "", "write the ops scenario's JSON metric snapshot to this file")
@@ -86,7 +86,7 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 	// The ops scenario is the metrics/trace producer; force it when an
 	// export was requested even if -fig selects only classic figures
 	// (the faults figure is its own producer and takes over the exports).
-	if want("ops") || (fig != "faults" && (metricsPath != "" || tracePath != "")) {
+	if want("ops") || (fig != "faults" && fig != "service" && (metricsPath != "" || tracePath != "")) {
 		res, err := experiments.Ops(seed, experiments.DefaultOpsConfig(seed))
 		if err != nil {
 			return err
@@ -130,7 +130,27 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 			}
 		}
 	}
-	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults"}, fig) {
+	// The service figure, like faults, is NOT part of -fig all: existing
+	// figure output stays byte-identical and served runs are an explicit
+	// opt-in.
+	if fig == "service" {
+		res, err := experiments.Serving(seed, experiments.DefaultServingConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Render())
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, res.WriteMetrics); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		if tracePath != "" {
+			if err := writeFile(tracePath, res.WriteTrace); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+		}
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults", "service"}, fig) {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil

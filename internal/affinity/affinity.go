@@ -217,6 +217,22 @@ func (a Allocation) Remove(i topology.NodeID, vt model.VMTypeID) {
 	a[i][vt]--
 }
 
+// Sparse returns the allocation's non-zero cells as VMEntry values in
+// row-major (node, then type) order — the canonical sparse form consumed
+// by Inventory.AllocateList/ReleaseList. The entries are freshly
+// allocated and do not alias the matrix.
+func (a Allocation) Sparse() []VMEntry {
+	var out []VMEntry
+	for i, row := range a {
+		for j, k := range row {
+			if k != 0 {
+				out = append(out, VMEntry{Node: topology.NodeID(i), Type: model.VMTypeID(j), Count: k})
+			}
+		}
+	}
+	return out
+}
+
 // MoveDelta returns the change in DistanceFrom(t, k) caused by moving one
 // VM from node p to node q while keeping the central node k fixed:
 // D_qk − D_pk. This is the quantity of Theorem 1 — negative when q is

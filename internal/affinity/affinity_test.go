@@ -145,6 +145,32 @@ func TestAddRemove(t *testing.T) {
 	a.Remove(1, 0)
 }
 
+func TestSparseRoundTrip(t *testing.T) {
+	a := Allocation{{0, 2, 0}, {0, 0, 0}, {1, 0, 3}}
+	ents := a.Sparse()
+	want := []VMEntry{{Node: 0, Type: 1, Count: 2}, {Node: 2, Type: 0, Count: 1}, {Node: 2, Type: 2, Count: 3}}
+	if len(ents) != len(want) {
+		t.Fatalf("Sparse() = %v, want %v", ents, want)
+	}
+	for i := range want {
+		if ents[i] != want[i] {
+			t.Fatalf("Sparse()[%d] = %v, want %v", i, ents[i], want[i])
+		}
+	}
+	sp := SparseAlloc{NumNodes: 3, NumTypes: 3, Entries: ents}
+	back := sp.ToDense()
+	for i := range a {
+		for j := range a[i] {
+			if back[i][j] != a[i][j] {
+				t.Fatalf("round trip mismatch at (%d,%d): %d vs %d", i, j, back[i][j], a[i][j])
+			}
+		}
+	}
+	if got := NewAllocation(2, 2).Sparse(); got != nil {
+		t.Fatalf("Sparse() of empty allocation = %v, want nil", got)
+	}
+}
+
 func TestCloneIndependent(t *testing.T) {
 	a := Allocation{{1, 2}, {3, 4}}
 	b := a.Clone()

@@ -26,6 +26,7 @@ import (
 	"affinitycluster/internal/obs"
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
+	"affinitycluster/internal/service"
 	"affinitycluster/internal/topology"
 )
 
@@ -67,6 +68,18 @@ type Config struct {
 	// Recovery tunes the requeue-with-backoff policy for clusters that
 	// cannot be evacuated after a failure.
 	Recovery RecoveryConfig
+	// Serve, when non-nil, routes every placement commit and release
+	// through a concurrent placement service (internal/service) instead
+	// of mutating the inventory directly: the service's apply loop
+	// becomes the inventory's single writer. Only per-request mode is
+	// supported (no Batch, Migrate, BatchWindow, or Faults), the placer
+	// must be the indexed online heuristic, and the simulator keeps its
+	// own wait queue — Topology, Inventory, Online, QueueCap, Ordered,
+	// GlobalOpt, and Obs in the supplied config are overridden, so only
+	// the batching knobs (BatchSize, MaxWait, IntakeCap) matter here. A
+	// served run is byte-identical to a direct one: metrics, registry
+	// snapshot, and event trace all match (pinned by TestServeParity).
+	Serve *service.Config
 	// Obs, when non-nil, receives per-decision telemetry: placement
 	// events with chosen center and DC, queue admit/reject/wait,
 	// migration moves with gain and traffic, plus counters, gauges, and
@@ -161,6 +174,10 @@ type Simulator struct {
 	online *placement.OnlineHeuristic
 	tidx   *affinity.TierIndex
 	sp     affinity.SparseAlloc
+
+	// serve, when Config.Serve is set, owns the inventory: place and
+	// depart go through it and never touch inv's mutators directly.
+	serve *service.Service
 
 	arrivals map[model.RequestID]float64
 	running  map[int]affinity.Allocation  // live clusters by registry ID
@@ -273,6 +290,30 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 	if s.totalSlots == 0 {
 		return nil, errors.New("cloudsim: inventory has zero capacity")
 	}
+	if cfg.Serve != nil {
+		if cfg.Batch || cfg.Migrate || cfg.BatchWindow > 0 || cfg.Faults.Enabled() {
+			return nil, errors.New("cloudsim: Serve supports per-request mode only (no Batch, Migrate, BatchWindow, or Faults)")
+		}
+		oh, ok := placer.(*placement.OnlineHeuristic)
+		if !ok || oh.Policy != placement.ScanAllCenters {
+			return nil, fmt.Errorf("cloudsim: Serve requires the indexed online heuristic, got %q", placer.Name())
+		}
+		sc := *cfg.Serve
+		sc.Topology, sc.Inventory, sc.Online = tp, inv, oh
+		// The simulator's own queue does the waiting (its drain is driven
+		// by virtual time); the service answers non-fitting placements
+		// immediately. Telemetry stays with the simulator so a served run's
+		// registry matches a direct run's byte for byte.
+		sc.QueueCap = -1
+		sc.Ordered, sc.GlobalOpt = false, false
+		sc.Obs = nil
+		svc, err := service.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("cloudsim: starting placement service: %w", err)
+		}
+		s.serve = svc
+		return s, nil
+	}
 	if oh, ok := placer.(*placement.OnlineHeuristic); ok && oh.Policy == placement.ScanAllCenters {
 		idx, err := inv.AttachTierIndex(tp)
 		if err != nil {
@@ -283,11 +324,31 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 	return s, nil
 }
 
+// ServiceStats returns the placement service's activity counters and
+// whether Serve mode is active. The counters are valid during and after
+// Run (they are atomics owned by the service).
+func (s *Simulator) ServiceStats() (service.Stats, bool) {
+	if s.serve == nil {
+		return service.Stats{}, false
+	}
+	return s.serve.Stats(), true
+}
+
 // Run feeds the timed requests through the simulated cloud and returns
 // the aggregate metrics once all work has drained. A bookkeeping failure
 // (a departure whose release does not fit the inventory) aborts the run
 // and is returned as an error instead of panicking.
-func (s *Simulator) Run(reqs []model.TimedRequest) (*Metrics, error) {
+func (s *Simulator) Run(reqs []model.TimedRequest) (m *Metrics, err error) {
+	if s.serve != nil {
+		// The simulator owns the service's lifetime: stop its goroutines
+		// on every exit path. A Close failure on an otherwise clean run
+		// is surfaced; ErrClosed just means a prior Run already stopped it.
+		defer func() {
+			if cerr := s.serve.Close(); cerr != nil && !errors.Is(cerr, service.ErrClosed) && err == nil {
+				m, err = nil, fmt.Errorf("cloudsim: closing placement service: %w", cerr)
+			}
+		}()
+	}
 	seen := make(map[model.RequestID]bool, len(reqs))
 	for _, r := range reqs {
 		r := r
@@ -421,6 +482,18 @@ func (s *Simulator) reject(r model.TimedRequest, now float64, reason string) {
 // inventory error is a bug and aborts the run instead of being
 // misread as a full cloud.
 func (s *Simulator) place(r model.TimedRequest, now float64) bool {
+	if s.serve != nil {
+		pl, err := s.serve.Place(r.Vector)
+		if err != nil {
+			if !errors.Is(err, placement.ErrInsufficient) {
+				s.fail(fmt.Errorf("cloudsim: service placement of request %d: %w", r.ID, err))
+			}
+			return false
+		}
+		sp := affinity.SparseAlloc{NumNodes: s.topo.Nodes(), NumTypes: len(r.Vector), Entries: pl.Entries}
+		s.commission(r, sp.ToDense(), pl.DC, pl.Center, now)
+		return true
+	}
 	if s.tidx != nil && len(r.Vector) == s.tidx.Types() {
 		d, center, err := s.online.PlaceSparse(s.tidx, r.Vector, &s.sp)
 		if err != nil {
@@ -517,7 +590,13 @@ func (s *Simulator) depart(id int, now float64) {
 	s.om.usedSlots.Set(float64(s.usedSlots))
 	s.cfg.Obs.Emit("depart", now, obs.F("req", int(s.reqOf[id].ID)), obs.F("dc", d))
 	delete(s.reqOf, id)
-	if err := s.inv.Release([][]int(alloc)); err != nil {
+	var err error
+	if s.serve != nil {
+		err = s.serve.Release(alloc.Sparse())
+	} else {
+		err = s.inv.Release([][]int(alloc))
+	}
+	if err != nil {
 		// A release failure means the simulator corrupted its own
 		// bookkeeping. Surface it through Run's error return (and the
 		// obs counter) instead of panicking the whole process; Run's

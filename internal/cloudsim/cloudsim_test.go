@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"affinitycluster/internal/inventory"
@@ -9,6 +10,7 @@ import (
 	"affinitycluster/internal/obs"
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
+	"affinitycluster/internal/service"
 	"affinitycluster/internal/topology"
 	"affinitycluster/internal/workload"
 )
@@ -539,5 +541,88 @@ func TestAffinityPlacerYieldsShorterDistancesThanRandom(t *testing.T) {
 	striped := run(placement.RoundRobinStripe{})
 	if affine >= striped {
 		t.Errorf("affinity-aware mean distance %.2f not below round-robin %.2f", affine, striped)
+	}
+}
+
+// TestServeParity pins the Serve wiring's byte-identity guarantee: the
+// same seeded workload run directly and through the placement service
+// must produce equal Metrics and byte-identical registry snapshots and
+// event traces — the service changes who commits, never what is
+// committed.
+func TestServeParity(t *testing.T) {
+	tp := topology.PaperSimPlant()
+	caps, err := workload.RandomCapacities(3, tp.Nodes(), 3, workload.DefaultInventoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.RandomRequests(4, 40, 3, workload.Normal, workload.DefaultRequestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := workload.DefaultArrivalConfig()
+	arr.MeanInterarrival = 4 // saturate the plant so the queue and drain work too
+	timedReqs, err := workload.TimedRequests(5, reqs, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(serve *service.Config) (*Metrics, []byte) {
+		inv, err := inventory.NewFromMatrix(caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		sim, err := New(tp, inv, &placement.OnlineHeuristic{Obs: reg}, Config{
+			Policy: queue.FIFO,
+			Serve:  serve,
+			Obs:    reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run(timedReqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteMetricsJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteTraceJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return m, buf.Bytes()
+	}
+	direct, directReg := run(nil)
+	served, servedReg := run(&service.Config{BatchSize: 4})
+	if direct.Served == 0 || direct.Served+direct.Rejected+direct.Unplaced != 40 {
+		t.Fatalf("degenerate workload: %+v", direct)
+	}
+	if !reflect.DeepEqual(direct, served) {
+		t.Errorf("metrics diverge:\ndirect: %+v\nserved: %+v", direct, served)
+	}
+	if !bytes.Equal(directReg, servedReg) {
+		t.Errorf("registry diverges between direct and served runs")
+	}
+}
+
+// TestServeModeRestrictions pins the Serve validation: batch, migration,
+// batch-window, and fault modes are refused, as are non-indexed placers.
+func TestServeModeRestrictions(t *testing.T) {
+	tp, inv := plant(t)
+	sc := &service.Config{}
+	for name, cfg := range map[string]Config{
+		"batch":   {Serve: sc, Batch: true},
+		"migrate": {Serve: sc, Migrate: true},
+		"window":  {Serve: sc, BatchWindow: 10},
+	} {
+		if _, err := New(tp, inv, &placement.OnlineHeuristic{}, cfg); err == nil {
+			t.Errorf("New with Serve+%s succeeded", name)
+		}
+	}
+	if _, err := New(tp, inv, &placement.OnlineHeuristic{Policy: placement.ExhaustiveCenters}, Config{Serve: sc}); err == nil {
+		t.Errorf("New with Serve and exhaustive placer succeeded")
 	}
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The default serving scenario must do real work — every request served
+// through the service, conservation holding, and the serving stats
+// matching the cloud metrics (one place and one release per served
+// cluster, since the saturated run drains completely).
+func TestServingDefaultServesWorkload(t *testing.T) {
+	cfg := DefaultServingConfig()
+	res, err := Serving(2012, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cloud
+	if got := c.Served + c.Rejected + c.Unplaced; got != cfg.Requests {
+		t.Errorf("Served %d + Rejected %d + Unplaced %d = %d, want %d",
+			c.Served, c.Rejected, c.Unplaced, got, cfg.Requests)
+	}
+	if c.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if int(res.Stats.Placed) != c.Served {
+		t.Errorf("service placed %d, cloud served %d", res.Stats.Placed, c.Served)
+	}
+	if res.Stats.Released != res.Stats.Placed {
+		t.Errorf("service released %d of %d placements", res.Stats.Released, res.Stats.Placed)
+	}
+	if res.Stats.Batches == 0 || res.Stats.Ops < res.Stats.Placed+res.Stats.Released {
+		t.Errorf("implausible serving stats: %+v", res.Stats)
+	}
+	out := res.Render()
+	for _, want := range []string{"Serving scenario.", "cloudsim.served", "placement.place_calls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}
+
+// Same seed, same config — byte-identical exports: routing commits
+// through the service must not perturb the registry.
+func TestServingDeterministic(t *testing.T) {
+	var metrics, traces [2]bytes.Buffer
+	for i := range metrics {
+		res, err := Serving(2012, DefaultServingConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteMetrics(&metrics[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteTrace(&traces[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(metrics[0].Bytes(), metrics[1].Bytes()) {
+		t.Error("metric snapshots differ across identical serving runs")
+	}
+	if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
+		t.Error("event traces differ across identical serving runs")
+	}
+}

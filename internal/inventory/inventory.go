@@ -450,7 +450,10 @@ func (inv *Inventory) CheckInvariants() error {
 
 // Clone returns a deep copy of the inventory, useful for what-if planning
 // (the global sub-optimization algorithm plans on a clone before
-// committing).
+// committing). When the source has an attached tier index, the clone gets
+// its own fresh index over its own remaining matrix: what-if mutations on
+// the clone keep the sparse fast paths, and neither inventory can observe
+// the other's index going stale.
 func (inv *Inventory) Clone() *Inventory {
 	inv.mu.RLock()
 	defer inv.mu.RUnlock()
@@ -472,6 +475,18 @@ func (inv *Inventory) Clone() *Inventory {
 		sort.Ints(keys)
 		for _, i := range keys {
 			out.failed[i] = append([]int(nil), inv.failed[i]...)
+		}
+	}
+	if inv.tidx != nil {
+		// The source index aliases the source's remain matrix, so it cannot
+		// be shared; rebuild one over the clone's own rows. The source index
+		// attached against this topology and shape, so the rebuild cannot
+		// fail; if it somehow does the clone falls back to no index, which
+		// is the pre-fix behavior rather than a corrupt attachment.
+		if idx, err := affinity.NewTierIndex(inv.tidx.Topology(), out.remain); err == nil {
+			idx.SetVersion(out.version)
+			out.tidx = idx
+			out.tixDeltas = make([]int, out.types)
 		}
 	}
 	return out

@@ -7,9 +7,13 @@
 // it incrementally in O(affected tiers) under the same lock that guards L.
 //
 // The attached index and RemainingView share the inventory's live storage:
-// they are only coherent between mutations. The simulators are
-// single-threaded per inventory, which is the intended usage; concurrent
-// readers must keep using the cloning snapshots (Remaining, Available).
+// they are only coherent between mutations. The intended usage is the
+// single-writer discipline: exactly one goroutine — the simulator loop, or
+// the placement service's apply loop (internal/service) — both mutates the
+// inventory and reads the view/index, so its lock-free reads can never
+// interleave with a mutation. Any other goroutine must use the cloning
+// snapshots (Remaining, Available), whose RLocks order them against the
+// writer. The service's race-mode hammer test pins this discipline.
 package inventory
 
 import (
@@ -55,9 +59,11 @@ func (inv *Inventory) TierIndex() *affinity.TierIndex {
 
 // RemainingView returns the live remaining matrix L without copying.
 // The rows alias the inventory's internal storage: they change under every
-// mutation and must never be written by the caller. Use Remaining for a
-// stable snapshot; this view exists for the single-threaded placement hot
-// path, where the per-request clone of an n×m matrix is the dominant cost.
+// mutation and must never be written by the caller. The view is only safe
+// on the inventory's single writer goroutine (the one performing all
+// mutations — see the package comment); everywhere else use Remaining for
+// a stable snapshot. The view exists for the placement hot path, where the
+// per-request clone of an n×m matrix is the dominant cost.
 func (inv *Inventory) RemainingView() [][]int {
 	inv.mu.RLock()
 	defer inv.mu.RUnlock()

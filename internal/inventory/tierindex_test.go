@@ -105,6 +105,104 @@ func TestAttachedIndexTracksMutators(t *testing.T) {
 	}
 }
 
+// TestCloneMidChurnKeepsTierIndex pins the Clone bugfix: cloning an
+// inventory with an attached tier index mid-churn must hand the clone its
+// own consistent index (not drop it, and not alias the source's), and
+// further churn on either side must leave the other's index untouched.
+func TestCloneMidChurnKeepsTierIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1208))
+	topo := topology.PaperSimPlant()
+	n := topo.Nodes()
+	const m = 3
+	max := make([][]int, n)
+	for i := range max {
+		max[i] = make([]int, m)
+		for j := range max[i] {
+			max[i][j] = 1 + rng.Intn(4)
+		}
+	}
+	inv, err := NewFromMatrix(max)
+	if err != nil {
+		t.Fatalf("NewFromMatrix: %v", err)
+	}
+	srcIdx, err := inv.AttachTierIndex(topo)
+	if err != nil {
+		t.Fatalf("AttachTierIndex: %v", err)
+	}
+
+	churn := func(target *Inventory, steps int) {
+		for s := 0; s < steps; s++ {
+			i := topology.NodeID(rng.Intn(n))
+			j := model.VMTypeID(rng.Intn(m))
+			switch rng.Intn(3) {
+			case 0:
+				_ = target.AllocateList([]affinity.VMEntry{{Node: i, Type: j, Count: 1 + rng.Intn(2)}})
+			case 1:
+				_ = target.ReleaseList([]affinity.VMEntry{{Node: i, Type: j, Count: 1}})
+			case 2:
+				if _, err := target.FailNode(i); err == nil {
+					if rng.Intn(2) == 0 {
+						_ = target.RestoreNode(i)
+					}
+				}
+			}
+		}
+	}
+
+	// Clone in the middle of live churn, not from a pristine inventory.
+	churn(inv, 40)
+	clone := inv.Clone()
+	cloneIdx := clone.TierIndex()
+	if cloneIdx == nil {
+		t.Fatalf("Clone dropped the attached tier index")
+	}
+	if cloneIdx == srcIdx {
+		t.Fatalf("Clone shares the source's tier index")
+	}
+	if cloneIdx.Version() != clone.Version() {
+		t.Fatalf("clone index version %d, inventory %d", cloneIdx.Version(), clone.Version())
+	}
+	if err := cloneIdx.CheckConsistent(); err != nil {
+		t.Fatalf("clone index inconsistent right after Clone: %v", err)
+	}
+
+	// Independent churn on both sides: each index must keep tracking its
+	// own inventory and never observe the other's mutations.
+	srcSnap := inv.Version()
+	churn(clone, 40)
+	if err := cloneIdx.CheckConsistent(); err != nil {
+		t.Fatalf("clone index inconsistent after clone churn: %v", err)
+	}
+	if inv.Version() != srcSnap {
+		t.Fatalf("clone churn mutated the source inventory")
+	}
+	if err := srcIdx.CheckConsistent(); err != nil {
+		t.Fatalf("source index broken by clone churn: %v", err)
+	}
+	churn(inv, 40)
+	if err := srcIdx.CheckConsistent(); err != nil {
+		t.Fatalf("source index inconsistent after source churn: %v", err)
+	}
+	if err := cloneIdx.CheckConsistent(); err != nil {
+		t.Fatalf("clone index broken by source churn: %v", err)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatalf("source invariants: %v", err)
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+
+	// A source without an index still clones to one without an index.
+	bare, err := NewFromMatrix(max)
+	if err != nil {
+		t.Fatalf("NewFromMatrix: %v", err)
+	}
+	if bare.Clone().TierIndex() != nil {
+		t.Fatalf("clone of an index-less inventory grew an index")
+	}
+}
+
 // TestListFormsMatchDense checks AllocateList/ReleaseList against the dense
 // Allocate/Release on the same cells, including repeated-cell entries and
 // failure atomicity.

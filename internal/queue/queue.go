@@ -181,13 +181,24 @@ func (q *Queue) Dequeue() (model.TimedRequest, bool) {
 }
 
 // Peek returns the waiting requests in policy order without removing them.
+// The returned slice is a fresh copy that never aliases the queue's
+// backing array: removeAt/removeTaken zero vacated tail slots on every
+// Dequeue/Cancel/GetRequests, so a result sharing storage with q.items
+// would see its entries wiped by later queue operations. A caller may
+// hold a Peek result across arbitrary mutations (pinned by
+// TestPeekSurvivesMutation).
 func (q *Queue) Peek() []model.TimedRequest {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.ordered()
 }
 
-// ordered returns a policy-sorted copy; callers hold q.mu.
+// ordered returns a policy-sorted copy; callers hold q.mu. Returning a
+// copy (never q.items or a reslice of it) is a correctness requirement,
+// not an optimization choice: every public method that hands requests out
+// (Peek, Dequeue, GetRequests, GetRequestsStrict) goes through here, and
+// removeAt/removeTaken zero the vacated tail of the backing array, which
+// would destroy any aliasing result the caller still holds.
 func (q *Queue) ordered() []model.TimedRequest {
 	out := append([]model.TimedRequest(nil), q.items...)
 	if q.policy == PriorityPolicy {
@@ -212,7 +223,9 @@ func (q *Queue) ordered() []model.TimedRequest {
 // policy order and take every request the running availability can still
 // admit, removing the taken requests from the queue. Requests that do not
 // fit are skipped, not blocked behind (the paper admits any subset the
-// resources can meet).
+// resources can meet). The returned slice is built from ordered()'s copy,
+// so like Peek it stays valid across later queue mutations even though
+// removeTaken zeroes the compacted tail of the backing array.
 func (q *Queue) GetRequests(avail []int) []model.TimedRequest {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -353,3 +353,78 @@ func TestEnqueueFrontPriorityAndLimits(t *testing.T) {
 		t.Errorf("re-insert after dequeue: %v", err)
 	}
 }
+
+// TestPeekSurvivesMutation pins the copy contract of Peek: a result held
+// across Dequeue/Cancel/GetRequests must keep its values even though
+// removeAt and removeTaken zero the vacated tail slots of the queue's
+// backing array. If ordered() ever returned q.items (or a reslice of it),
+// the held snapshot's entries would be wiped to zero structs here.
+func TestPeekSurvivesMutation(t *testing.T) {
+	q := New(FIFO, 0)
+	for i := 0; i < 4; i++ {
+		if err := q.Enqueue(req(i, model.Request{i + 1, 2 * i}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := q.Peek()
+
+	// Drain the whole queue: every removeAt zeroes a tail slot.
+	for i := 0; i < 4; i++ {
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	for i, r := range held {
+		if r.ID != model.RequestID(i) {
+			t.Fatalf("held[%d].ID = %d after drain, want %d (snapshot aliased backing array)", i, r.ID, i)
+		}
+		if len(r.Vector) != 2 || r.Vector[0] != i+1 || r.Vector[1] != 2*i {
+			t.Fatalf("held[%d].Vector = %v after drain, want [%d %d]", i, r.Vector, i+1, 2*i)
+		}
+	}
+}
+
+// TestGetRequestsSurvivesMutation pins the same contract for GetRequests:
+// the taken slice must stay intact across later enqueues, takes, and
+// cancels (removeTaken zeroes the compacted tail in place).
+func TestGetRequestsSurvivesMutation(t *testing.T) {
+	q := New(PriorityPolicy, 0)
+	for i := 0; i < 6; i++ {
+		if err := q.Enqueue(req(i, model.Request{1}, i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	taken := q.GetRequests([]int{3}) // admits the first three in priority order
+	if len(taken) != 3 {
+		t.Fatalf("took %d requests, want 3", len(taken))
+	}
+	wantIDs := make([]model.RequestID, len(taken))
+	for i, r := range taken {
+		wantIDs[i] = r.ID
+	}
+
+	// Churn the queue hard: re-add, take again, cancel, drain.
+	for i := 6; i < 10; i++ {
+		if err := q.Enqueue(req(i, model.Request{1}, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = q.GetRequests([]int{4})
+	for _, r := range q.Peek() {
+		_ = q.Cancel(r.ID)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	for i, r := range taken {
+		if r.ID != wantIDs[i] {
+			t.Fatalf("taken[%d].ID changed from %d to %d across mutations", i, wantIDs[i], r.ID)
+		}
+		if len(r.Vector) != 1 || r.Vector[0] != 1 {
+			t.Fatalf("taken[%d].Vector = %v after churn, want [1]", i, r.Vector)
+		}
+	}
+}
