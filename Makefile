@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race service-race bench bench-hot bench-json bench-churn bench-service verify clean
+.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race service-race soak-race bench bench-hot bench-json bench-churn bench-service bench-soak bench-soak-short verify clean
 
 all: build
 
@@ -59,6 +59,14 @@ faults-race:
 service-race:
 	$(GO) test -race ./internal/service ./internal/cloudsim -run 'Service|Ordered|Serve'
 
+# Streaming-replay gate: the soak scenario and the stream/retained
+# parity tests under the race detector, plus one seeded soak figure at a
+# reduced request count so the whole RunStream path (lazy arrivals,
+# sketches, fault teardown rollback) runs race-checked on each change.
+soak-race:
+	$(GO) test -race ./internal/cloudsim ./internal/experiments ./internal/trace ./internal/workload -run 'Stream|Soak|OpenLoop'
+	$(GO) run -race ./cmd/affinitysim -fig soak -requests 20000 > /dev/null
+
 # Full benchmark suite: every table/figure plus ablations.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -92,6 +100,21 @@ bench-churn:
 bench-service:
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime=20000x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_service.json
 	@cat BENCH_service.json
+
+# Soak benchmark (100k- and 1M-request streaming replays) recorded as
+# machine-readable JSON. Each op is itself a long internally-averaged
+# run, so -benchtime=1x is correct here: benchjson accepts the
+# single-iteration results because they carry custom metrics (req/s,
+# peak-heap-bytes), which are the figures that matter.
+bench-soak:
+	$(GO) test -run '^$$' -bench 'BenchmarkSoak' -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_soak.json
+	@cat BENCH_soak.json
+
+# CI's short arm: only the 100k-request soak (the 1M arm skips under
+# -short), same JSON artifact shape.
+bench-soak-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkSoak' -benchtime=1x -short -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_soak.json
+	@cat BENCH_soak.json
 
 # The pre-merge gate: build, vet, lint, full tests, and the race detector.
 verify: build vet lint test race

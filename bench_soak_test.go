@@ -1,0 +1,56 @@
+// Soak benchmarks: streaming trace replay throughput and peak live heap
+// at soak scale. Unlike the other benchmarks, each op is itself a long
+// averaged run (100k or 1M open-loop requests through the full cloudsim
+// plant with faults on), so the intended invocation is -benchtime=1x:
+// the interesting figures are the custom req/s and peak-heap-bytes
+// metrics, not ns/op. BenchmarkSoak feeds BENCH_soak.json
+// (make bench-soak); the 1M arm is the paper-scale endurance run and is
+// skipped under -short.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"affinitycluster/internal/experiments"
+)
+
+func BenchmarkSoak(b *testing.B) {
+	arms := []struct {
+		name     string
+		requests int
+		long     bool
+	}{
+		{"100k", 100_000, false},
+		{"1M", 1_000_000, true},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			if arm.long && testing.Short() {
+				b.Skip("1M-request soak skipped in -short")
+			}
+			cfg := experiments.DefaultSoakConfig()
+			cfg.Requests = arm.requests
+			var peak uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Soak(2012, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cloud.Served == 0 {
+					b.Fatal("soak served nothing")
+				}
+				if res.PeakHeapBytes > peak {
+					peak = res.PeakHeapBytes
+				}
+			}
+			b.StopTimer()
+			total := float64(arm.requests) * float64(b.N)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(peak), "peak-heap-bytes")
+			b.Logf("%s: peak heap %.1f MiB", fmt.Sprintf("%d requests", arm.requests),
+				float64(peak)/(1<<20))
+		})
+	}
+}

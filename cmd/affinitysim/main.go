@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|service|all]
-//	            [-mtbf N] [-mttr N]
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|service|soak|all]
+//	            [-mtbf N] [-mttr N] [-requests N]
 //	            [-metrics out.json] [-trace out.jsonl] [-pprof addr]
 package main
 
@@ -18,15 +18,17 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"affinitycluster/internal/experiments"
 )
 
 func main() {
 	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
-	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, service, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, service, soak, or all")
 	mtbf := flag.Float64("mtbf", 0, "faults figure: mean time between failures (0 = scenario default)")
 	mttr := flag.Float64("mttr", 0, "faults figure: mean time to repair (0 = scenario default)")
+	requests := flag.Int("requests", 0, "soak figure: open-loop request count (0 = scenario default)")
 	metricsPath := flag.String("metrics", "", "write the ops scenario's JSON metric snapshot to this file")
 	tracePath := flag.String("trace", "", "write the ops scenario's JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -40,13 +42,13 @@ func main() {
 		}()
 	}
 
-	if err := run(os.Stdout, *seed, *fig, *metricsPath, *tracePath, *mtbf, *mttr); err != nil {
+	if err := run(os.Stdout, *seed, *fig, *metricsPath, *tracePath, *mtbf, *mttr, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "affinitysim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr float64) error {
+func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr float64, requests int) error {
 	want := func(f string) bool { return fig == "all" || fig == f }
 	if want("2") {
 		res, err := experiments.Fig2(seed)
@@ -150,7 +152,27 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 			}
 		}
 	}
-	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults", "service"}, fig) {
+	// The soak figure, like faults and service, is NOT part of -fig all:
+	// it is the streaming endurance scenario, sized for long runs, and an
+	// explicit opt-in.
+	if fig == "soak" {
+		cfg := experiments.DefaultSoakConfig()
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		start := time.Now()
+		res, err := experiments.Soak(seed, cfg)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprint(w, res.Render())
+		// The wall-clock and heap lines are machine-dependent, so they
+		// stay out of Render() — the report above is seed-deterministic.
+		fmt.Fprintf(w, "replay: %.2fs wall (%.0f req/s), peak heap %.1f MiB\n\n",
+			elapsed, float64(cfg.Requests)/elapsed, float64(res.PeakHeapBytes)/(1<<20))
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults", "service", "soak"}, fig) {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil

@@ -11,21 +11,21 @@ import (
 )
 
 func TestRunAllFigures(t *testing.T) {
-	if err := run(io.Discard, 2012, "all", "", "", 0, 0); err != nil {
+	if err := run(io.Discard, 2012, "all", "", "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFigure(t *testing.T) {
 	for _, fig := range []string{"2", "3", "4", "5", "6"} {
-		if err := run(io.Discard, 7, fig, "", "", 0, 0); err != nil {
+		if err := run(io.Discard, 7, fig, "", "", 0, 0, 0); err != nil {
 			t.Errorf("fig %s: %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(io.Discard, 7, "9", "", "", 0, 0); err == nil {
+	if err := run(io.Discard, 7, "9", "", "", 0, 0, 0); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -35,7 +35,7 @@ func TestOpsExportsAllMetricFamilies(t *testing.T) {
 	metrics := filepath.Join(dir, "metrics.json")
 	trace := filepath.Join(dir, "trace.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, 2012, "ops", metrics, trace, 0, 0); err != nil {
+	if err := run(&out, 2012, "ops", metrics, trace, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Ops scenario") {
@@ -83,7 +83,7 @@ func TestOpsExportsDeterministic(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		m := filepath.Join(dir, "m"+string(rune('0'+i))+".json")
 		tr := filepath.Join(dir, "t"+string(rune('0'+i))+".jsonl")
-		if err := run(io.Discard, 4242, "ops", m, tr, 0, 0); err != nil {
+		if err := run(io.Discard, 4242, "ops", m, tr, 0, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 		paths[i] = [2]string{m, tr}
@@ -107,7 +107,7 @@ func TestOpsExportsDeterministic(t *testing.T) {
 // classic figure.
 func TestMetricsFlagForcesOps(t *testing.T) {
 	metrics := filepath.Join(t.TempDir(), "m.json")
-	if err := run(io.Discard, 7, "2", metrics, "", 0, 0); err != nil {
+	if err := run(io.Discard, 7, "2", metrics, "", 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(metrics); err != nil {
@@ -122,7 +122,7 @@ func TestRunFaultsFigure(t *testing.T) {
 	metrics := filepath.Join(dir, "m.json")
 	trace := filepath.Join(dir, "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, 2012, "faults", metrics, trace, 0, 0); err != nil {
+	if err := run(&out, 2012, "faults", metrics, trace, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Faults scenario.") {
@@ -144,10 +144,24 @@ func TestRunFaultsFigure(t *testing.T) {
 	// A huge MTBF relative to the horizon yields an empty schedule but a
 	// still-valid run.
 	out.Reset()
-	if err := run(&out, 2012, "faults", "", "", 1e6, 5); err != nil {
+	if err := run(&out, 2012, "faults", "", "", 1e6, 5, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "injected 0 failures") {
 		t.Errorf("quiet-MTBF run still injected failures:\n%s", out.String())
+	}
+}
+
+// The soak figure renders its headline plus the machine-dependent replay
+// line, and honours the -requests override.
+func TestRunSoakFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2012, "soak", "", "", 0, 0, 3000); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Soak scenario.", "replayed 3000 open-loop requests", "replay:", "peak heap"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("soak output missing %q:\n%s", want, out.String())
+		}
 	}
 }

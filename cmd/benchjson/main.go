@@ -40,7 +40,12 @@ type Report struct {
 // truncated run cannot silently produce an empty report, and so are
 // single-iteration results — one iteration means the run was invoked
 // with -benchtime=1x (or an op outran the benchtime) and the figures
-// are unaveraged noise that must not be checked in.
+// are unaveraged noise that must not be checked in. Exception: a
+// single-iteration result that reports custom metrics (anything beyond
+// the stock ns/op, B/op, allocs/op, MB/s columns) is accepted — soak
+// benchmarks run once by design, with each "iteration" internally
+// averaging over a huge request count, and their req/s and
+// peak-heap-bytes figures are the deliverable.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
 	sc := bufio.NewScanner(r)
@@ -60,7 +65,7 @@ func parse(r io.Reader) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			if res.Iterations == 1 {
+			if res.Iterations == 1 && !hasCustomMetrics(res) {
 				return nil, fmt.Errorf("benchjson: %s ran a single iteration — rerun with a real -benchtime so the figures are averaged", res.Name)
 			}
 			rep.Results = append(rep.Results, res)
@@ -70,6 +75,19 @@ func parse(r io.Reader) (*Report, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// hasCustomMetrics reports whether the result carries any b.ReportMetric
+// unit beyond the testing package's stock columns.
+func hasCustomMetrics(res Result) bool {
+	for unit := range res.Metrics {
+		switch unit {
+		case "ns/op", "B/op", "allocs/op", "MB/s":
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 // parseLine splits "BenchmarkX-8  10  123 ns/op  45 B/op" into a Result.

@@ -62,4 +62,30 @@ func TestParseRejectsSingleIteration(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "single iteration") {
 		t.Fatalf("want single-iteration error, got %v", err)
 	}
+	// Stock -benchmem columns don't lift the rejection either.
+	_, err = parse(strings.NewReader("BenchmarkOnce-8 1 123456 ns/op 99 B/op 3 allocs/op\n"))
+	if err == nil || !strings.Contains(err.Error(), "single iteration") {
+		t.Fatalf("want single-iteration error for benchmem-only line, got %v", err)
+	}
+}
+
+// TestParseAcceptsSingleIterationWithCustomMetrics: soak benchmarks run
+// once by design and report internally-averaged custom metrics; those
+// lines must parse.
+func TestParseAcceptsSingleIterationWithCustomMetrics(t *testing.T) {
+	line := "BenchmarkSoak/1M-8 1 21500000000 ns/op 46500 req/s 17825792 peak-heap-bytes\n"
+	rep, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(rep.Results))
+	}
+	res := rep.Results[0]
+	if res.Name != "BenchmarkSoak/1M" || res.Iterations != 1 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Metrics["req/s"] != 46500 || res.Metrics["peak-heap-bytes"] != 17825792 {
+		t.Fatalf("custom metrics lost: %v", res.Metrics)
+	}
 }

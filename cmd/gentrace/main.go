@@ -1,17 +1,26 @@
 // Command gentrace generates a seeded random request trace (the paper's
-// simulation workload) as JSON on stdout or to a file, for replay with
-// the library's trace package or external tooling.
+// simulation workload) on stdout or to a file, for replay with the
+// library's trace package or external tooling. Two formats are
+// supported: the whole-slice JSON document (-format json, the default)
+// and the streaming JSONL format (-format jsonl), which writes one
+// request per line and never holds the trace in memory — the openloop
+// scenario pairs with it to emit multi-million-request traces in O(1)
+// space.
 //
 // Usage:
 //
-//	gentrace [-seed N] [-count N] [-types N] [-scenario normal|small] [-out trace.json]
+//	gentrace [-seed N] [-count N] [-types N]
+//	         [-scenario normal|small|openloop] [-format json|jsonl]
+//	         [-interarrival S] [-hold S] [-out trace.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"affinitycluster/internal/model"
 	"affinitycluster/internal/trace"
 	"affinitycluster/internal/workload"
 )
@@ -20,19 +29,56 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	count := flag.Int("count", 20, "number of requests")
 	types := flag.Int("types", 3, "VM type count")
-	scenario := flag.String("scenario", "normal", "request scenario: normal or small")
+	scenario := flag.String("scenario", "normal", "request scenario: normal, small, or openloop (jsonl only)")
+	format := flag.String("format", "json", "output format: json (whole-slice document) or jsonl (streaming)")
 	out := flag.String("out", "", "output path (default stdout)")
 	interarrival := flag.Float64("interarrival", 30, "mean interarrival seconds")
-	hold := flag.Float64("hold", 300, "mean hold seconds")
+	hold := flag.Float64("hold", 300, "mean (openloop: median) hold seconds")
 	flag.Parse()
 
-	if err := run(*seed, *count, *types, *scenario, *out, *interarrival, *hold); err != nil {
+	if err := run(*seed, *count, *types, *scenario, *format, *out, *interarrival, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "gentrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, count, types int, scenario, out string, interarrival, hold float64) error {
+func run(seed int64, count, types int, scenario, format, out string, interarrival, hold float64) error {
+	// Validate the numeric flags up front: a bad value must exit non-zero
+	// with a flag-shaped message, not surface as a downstream generator
+	// error (or, worse, emit a half-written trace). !(x > 0) also catches
+	// NaN, which every comparison is false for.
+	if count <= 0 {
+		return fmt.Errorf("-count must be positive, got %d", count)
+	}
+	if types <= 0 {
+		return fmt.Errorf("-types must be positive, got %d", types)
+	}
+	if !(interarrival > 0) || math.IsInf(interarrival, 0) {
+		return fmt.Errorf("-interarrival must be positive and finite, got %v", interarrival)
+	}
+	if !(hold > 0) || math.IsInf(hold, 0) {
+		return fmt.Errorf("-hold must be positive and finite, got %v", hold)
+	}
+	if format != "json" && format != "jsonl" {
+		return fmt.Errorf("unknown format %q (want json or jsonl)", format)
+	}
+
+	desc := fmt.Sprintf("seed %d, %s scenario, %d requests", seed, scenario, count)
+	if scenario == "openloop" {
+		if format != "jsonl" {
+			return fmt.Errorf("the openloop scenario streams; use -format jsonl")
+		}
+		cfg := workload.DefaultOpenLoopConfig()
+		cfg.BaseRate = 1 / interarrival
+		cfg.Types = types
+		cfg.HoldMedian = hold
+		gen, err := workload.NewOpenLoop(seed, count, cfg)
+		if err != nil {
+			return err
+		}
+		return writeStream(out, desc, types, gen)
+	}
+
 	var sc workload.Scenario
 	switch scenario {
 	case "normal":
@@ -53,9 +99,10 @@ func run(seed int64, count, types int, scenario, out string, interarrival, hold 
 	if err != nil {
 		return err
 	}
-	tr, err := trace.New(
-		fmt.Sprintf("seed %d, %s scenario, %d requests", seed, scenario, count),
-		types, timed)
+	if format == "jsonl" {
+		return writeStream(out, desc, types, model.NewSliceSource(timed))
+	}
+	tr, err := trace.New(desc, types, timed)
 	if err != nil {
 		return err
 	}
@@ -63,4 +110,27 @@ func run(seed int64, count, types int, scenario, out string, interarrival, hold 
 		return trace.Save(os.Stdout, tr)
 	}
 	return trace.SaveFile(out, tr)
+}
+
+// writeStream drains src into a JSONL trace at path (stdout when empty).
+func writeStream(out, desc string, types int, src model.RequestSource) error {
+	if out == "" {
+		w, err := trace.NewWriter(os.Stdout, desc, types)
+		if err != nil {
+			return err
+		}
+		if _, err := trace.CopySource(w, src); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	w, err := trace.CreateFile(out, desc, types)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.CopySource(w, src); err != nil {
+		_ = w.Close() // the copy error is the interesting one
+		return err
+	}
+	return w.Close()
 }

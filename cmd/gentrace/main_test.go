@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestGenerateToFileAndReload(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(5, 12, 3, "normal", out, 30, 300); err != nil {
+	if err := run(5, 12, 3, "normal", "json", out, 30, 300); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.LoadFile(out)
@@ -23,7 +24,7 @@ func TestGenerateToFileAndReload(t *testing.T) {
 
 func TestGenerateSmallScenario(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(5, 8, 3, "small", out, 10, 100); err != nil {
+	if err := run(5, 8, 3, "small", "json", out, 10, 100); err != nil {
 		t.Fatal(err)
 	}
 	tr, err := trace.LoadFile(out)
@@ -37,14 +38,71 @@ func TestGenerateSmallScenario(t *testing.T) {
 	}
 }
 
+// drainJSONL replays a streamed trace file and returns its request count.
+func drainJSONL(t *testing.T, path string, wantTypes int) int {
+	t.Helper()
+	rd, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rd.Close() }()
+	if rd.Types() != wantTypes {
+		t.Errorf("streamed trace declares %d types, want %d", rd.Types(), wantTypes)
+	}
+	n := 0
+	for {
+		_, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+func TestGenerateStreamedNormal(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(5, 15, 3, "normal", "jsonl", out, 30, 300); err != nil {
+		t.Fatal(err)
+	}
+	if n := drainJSONL(t, out, 3); n != 15 {
+		t.Errorf("streamed %d requests, want 15", n)
+	}
+}
+
+func TestGenerateOpenLoopStreams(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(5, 200, 4, "openloop", "jsonl", out, 2, 300); err != nil {
+		t.Fatal(err)
+	}
+	if n := drainJSONL(t, out, 4); n != 200 {
+		t.Errorf("streamed %d requests, want 200", n)
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
-	if err := run(1, 5, 3, "weird", "", 30, 300); err == nil {
-		t.Error("unknown scenario accepted")
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"unknown scenario", func() error { return run(1, 5, 3, "weird", "json", "", 30, 300) }},
+		{"unknown format", func() error { return run(1, 5, 3, "normal", "xml", "", 30, 300) }},
+		{"zero count", func() error { return run(1, 0, 3, "normal", "json", "", 30, 300) }},
+		{"negative count", func() error { return run(1, -2, 3, "normal", "json", "", 30, 300) }},
+		{"zero types", func() error { return run(1, 5, 0, "normal", "json", "", 30, 300) }},
+		{"negative interarrival", func() error { return run(1, 5, 3, "normal", "json", "", -1, 300) }},
+		{"NaN interarrival", func() error { return run(1, 5, 3, "normal", "json", "", math.NaN(), 300) }},
+		{"Inf interarrival", func() error { return run(1, 5, 3, "normal", "json", "", math.Inf(1), 300) }},
+		{"zero hold", func() error { return run(1, 5, 3, "normal", "json", "", 30, 0) }},
+		{"NaN hold", func() error { return run(1, 5, 3, "normal", "json", "", 30, math.NaN()) }},
+		{"Inf hold", func() error { return run(1, 5, 3, "normal", "json", "", 30, math.Inf(1)) }},
+		{"openloop needs jsonl", func() error { return run(1, 5, 3, "openloop", "json", "", 30, 300) }},
 	}
-	if err := run(1, 0, 3, "normal", "", 30, 300); err == nil {
-		t.Error("zero count accepted")
-	}
-	if err := run(1, 5, 3, "normal", "", -1, 300); err == nil {
-		t.Error("negative interarrival accepted")
+	for _, tc := range cases {
+		if tc.call() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
 }

@@ -34,11 +34,14 @@ func main() {
 		placer placement.Placer
 		cfg    cloudsim.Config
 	}
+	// RetainSamples: the report reads the exact Distances/Waits samples —
+	// fine at 60 requests (soak-scale runs use the streaming sketches).
+	retained := cloudsim.Config{RetainSamples: true}
 	arms := []arm{
-		{"online (per request)", &placement.OnlineHeuristic{}, cloudsim.Config{}},
-		{"global (batched)", &placement.OnlineHeuristic{}, cloudsim.Config{Batch: true}},
-		{"first-fit baseline", placement.FirstFit{}, cloudsim.Config{}},
-		{"round-robin baseline", placement.RoundRobinStripe{}, cloudsim.Config{}},
+		{"online (per request)", &placement.OnlineHeuristic{}, retained},
+		{"global (batched)", &placement.OnlineHeuristic{}, cloudsim.Config{Batch: true, RetainSamples: true}},
+		{"first-fit baseline", placement.FirstFit{}, retained},
+		{"round-robin baseline", placement.RoundRobinStripe{}, retained},
 	}
 
 	fmt.Printf("%-22s %7s %9s %9s %9s %7s\n", "strategy", "served", "meanDist", "meanWait", "util", "queue")

@@ -27,8 +27,16 @@ import (
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
 	"affinitycluster/internal/service"
+	"affinitycluster/internal/stats"
 	"affinitycluster/internal/topology"
 )
+
+// arrivalClass orders lazily scheduled stream arrivals below every other
+// event at the same timestamp. Run gets the "arrivals first on ties"
+// determinism contract for free by scheduling all arrivals before any
+// runtime event; RunStream schedules them one at a time, so the class
+// restores the identical pop order.
+const arrivalClass = -1
 
 // Config selects queueing and service behaviour.
 type Config struct {
@@ -80,12 +88,49 @@ type Config struct {
 	// served run is byte-identical to a direct one: metrics, registry
 	// snapshot, and event trace all match (pinned by TestServeParity).
 	Serve *service.Config
+	// RetainSamples keeps the exact per-request Distances and Waits
+	// slices on Metrics — O(served requests) memory, required for exact
+	// percentiles and the paper figures' byte-identical sample order. The
+	// default (false) populates only the constant-memory streaming
+	// sketches, which is what multi-million-request soak replays need.
+	RetainSamples bool
+	// Sketch bounds the streaming quantile sketches (zero fields take
+	// defaults; see SketchConfig).
+	Sketch SketchConfig
 	// Obs, when non-nil, receives per-decision telemetry: placement
 	// events with chosen center and DC, queue admit/reject/wait,
 	// migration moves with gain and traffic, plus counters, gauges, and
 	// wait/DC histograms. All timestamps are eventsim virtual time, so
 	// instrumented runs stay deterministic. Nil costs nothing.
 	Obs *obs.Registry
+}
+
+// SketchConfig bounds the streaming distance/wait quantile sketches.
+// Samples beyond a max are clamped to the top bucket (counted, with the
+// quantile pinned at the bound); the bounds only need to cover the range
+// where quantile resolution matters.
+type SketchConfig struct {
+	// DistanceMax is the upper bound of the DC sketch (0 = 200, matching
+	// the obs placement histogram's range).
+	DistanceMax float64
+	// WaitMax is the upper bound of the wait sketch, seconds (0 = 3600).
+	WaitMax float64
+	// Buckets is the bucket count of both sketches (0 = 400); the
+	// worst-case quantile error is one bucket width.
+	Buckets int
+}
+
+func (c SketchConfig) withDefaults() SketchConfig {
+	if c.DistanceMax <= 0 {
+		c.DistanceMax = 200
+	}
+	if c.WaitMax <= 0 {
+		c.WaitMax = 3600
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 400
+	}
+	return c
 }
 
 // RecoveryConfig tunes how a cluster torn down by a failure is re-placed
@@ -119,11 +164,20 @@ func (c RecoveryConfig) withDefaults() RecoveryConfig {
 
 // Metrics aggregates one simulation run.
 type Metrics struct {
-	Served    int
-	Rejected  int       // exceeded total plant capacity or queue full
-	Unplaced  int       // admitted but never placed before the run ended
+	Served   int
+	Rejected int // exceeded total plant capacity or queue full
+	Unplaced int // admitted but never placed before the run ended
+	// Distances and Waits are the exact per-request samples in service
+	// order — populated only with Config.RetainSamples (they are
+	// O(served) memory).
 	Distances []float64 // DC of each served cluster, in service order
 	Waits     []float64 // queueing delay of each served request
+	// DistanceSketch and WaitSketch summarize the same samples in O(1)
+	// memory (fixed-bucket streaming quantiles, always populated); their
+	// Value(p) is within ErrorBound of the exact percentile for in-range
+	// samples.
+	DistanceSketch *stats.Quantile
+	WaitSketch     *stats.Quantile
 	// UtilizationAvg is the time-weighted mean fraction of plant VM slots
 	// occupied between the first arrival and the last departure.
 	UtilizationAvg float64
@@ -180,12 +234,19 @@ type Simulator struct {
 	serve *service.Service
 
 	arrivals map[model.RequestID]float64
-	running  map[int]affinity.Allocation  // live clusters by registry ID
-	reqOf    map[int]model.TimedRequest   // registry ID → original request
-	departEv map[int]*eventsim.Event      // registry ID → scheduled departure
-	slot     map[int]int                  // registry ID → index into Distances/Waits
+	running  map[int]affinity.Allocation // live clusters by registry ID
+	reqOf    map[int]model.TimedRequest  // registry ID → original request
+	departEv map[int]*eventsim.Event     // registry ID → scheduled departure
+	slot     map[int]int                 // registry ID → index into Distances/Waits (RetainSamples only)
+	samples  map[int]servedSample        // registry ID → rollback record, O(active)
 	nextRun  int
 	metrics  Metrics
+
+	// Stream-replay validation state: the last accepted request ID and
+	// arrival time, so RunStream enforces the RequestSource contract in
+	// O(1) instead of a seen-ID map.
+	streamLastID model.RequestID
+	streamLastAt float64
 
 	// Fault state: the precomputed schedule and, per torn-down request,
 	// the failure time — consumed when the victim is re-served so
@@ -250,8 +311,12 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 		reqOf:           make(map[int]model.TimedRequest),
 		departEv:        make(map[int]*eventsim.Event),
 		slot:            make(map[int]int),
+		samples:         make(map[int]servedSample),
 		pendingRecovery: make(map[model.RequestID]float64),
 	}
+	sk := cfg.Sketch.withDefaults()
+	s.metrics.DistanceSketch = stats.NewQuantile(0, sk.DistanceMax, sk.Buckets)
+	s.metrics.WaitSketch = stats.NewQuantile(0, sk.WaitMax, sk.Buckets)
 	if cfg.Faults.Enabled() {
 		plan, err := faults.Plan(cfg.FaultSeed, tp, cfg.Faults)
 		if err != nil {
@@ -366,6 +431,82 @@ func (s *Simulator) Run(reqs []model.TimedRequest) (m *Metrics, err error) {
 	// Fault events are scheduled after all arrivals so that, at equal
 	// timestamps, arrivals are processed first — part of the determinism
 	// contract.
+	if err := s.scheduleFaults(); err != nil {
+		return nil, err
+	}
+	return s.finish()
+}
+
+// servedSample is the per-active-cluster record needed to roll a served
+// cluster back out of the metrics when a fault tears it down. Unlike the
+// retained slices it is deleted at departure, so fault recovery stays
+// O(active) at any trace length.
+type servedSample struct{ d, wait float64 }
+
+// RunStream replays requests pulled lazily from src — a trace.Reader, a
+// workload.OpenLoop, or any model.RequestSource — holding exactly one
+// pending arrival in the event heap instead of all of them, so a
+// multi-million-request replay runs in O(active clusters) memory. The
+// source must honor the RequestSource contract (strictly increasing IDs,
+// non-decreasing arrivals); violating requests are counted as rejected,
+// the same accounting Run applies to malformed slice entries. On a valid
+// sorted input, RunStream and Run produce identical metrics: stream
+// arrivals are scheduled at arrivalClass, which reproduces Run's
+// "arrivals first at equal timestamps" pop order (pinned by
+// TestRunStreamMatchesRun).
+func (s *Simulator) RunStream(src model.RequestSource) (m *Metrics, err error) {
+	if s.serve != nil {
+		defer func() {
+			if cerr := s.serve.Close(); cerr != nil && !errors.Is(cerr, service.ErrClosed) && err == nil {
+				m, err = nil, fmt.Errorf("cloudsim: closing placement service: %w", cerr)
+			}
+		}()
+	}
+	if err := s.scheduleFaults(); err != nil {
+		return nil, err
+	}
+	s.streamLastID, s.streamLastAt = -1, 0
+	if err := s.scheduleNextArrival(src); err != nil {
+		return nil, err
+	}
+	return s.finish()
+}
+
+// scheduleNextArrival pulls one request from the stream and schedules
+// its arrival; the arrival callback processes the request and then pulls
+// the next one. Contract-violating requests are rejected and skipped
+// here, so the engine only ever sees schedulable arrivals.
+func (s *Simulator) scheduleNextArrival(src model.RequestSource) error {
+	for {
+		r, ok, err := src.Next()
+		if err != nil {
+			return fmt.Errorf("cloudsim: pulling next arrival: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		if !validRequest(r) || r.ID <= s.streamLastID || r.Arrival < s.streamLastAt {
+			s.reject(r, s.engine.Now(), "invalid")
+			continue
+		}
+		s.streamLastID, s.streamLastAt = r.ID, r.Arrival
+		_, err = s.engine.AtClass(r.Arrival, arrivalClass, func(now float64) {
+			s.arrive(r, now)
+			if err := s.scheduleNextArrival(src); err != nil {
+				s.fail(err)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("cloudsim: scheduling arrival of request %d: %w", r.ID, err)
+		}
+		return nil
+	}
+}
+
+// scheduleFaults enqueues the precomputed fault plan. Faults run at
+// class 0, so they lose timestamp ties against pre-scheduled arrivals
+// (Run, by seq) and stream arrivals (RunStream, by class) alike.
+func (s *Simulator) scheduleFaults() error {
 	for _, ev := range s.faultPlan {
 		ev := ev
 		var err error
@@ -375,9 +516,15 @@ func (s *Simulator) Run(reqs []model.TimedRequest) (m *Metrics, err error) {
 			_, err = s.engine.At(ev.Time, func(now float64) { s.crash(ev, now) })
 		}
 		if err != nil {
-			return nil, fmt.Errorf("cloudsim: scheduling fault %d: %w", ev.FailureID, err)
+			return fmt.Errorf("cloudsim: scheduling fault %d: %w", ev.FailureID, err)
 		}
 	}
+	return nil
+}
+
+// finish drives the event loop to completion and closes out the metrics
+// — the shared epilogue of Run and RunStream.
+func (s *Simulator) finish() (*Metrics, error) {
 	for s.failed == nil && s.engine.Step() {
 	}
 	if s.failed != nil {
@@ -543,10 +690,15 @@ func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, 
 	s.nextRun++
 	s.running[id] = alloc
 	s.reqOf[id] = r
-	s.slot[id] = len(s.metrics.Distances)
-	s.metrics.Distances = append(s.metrics.Distances, d)
+	s.samples[id] = servedSample{d: d, wait: wait}
+	s.metrics.DistanceSketch.Observe(d)
+	s.metrics.WaitSketch.Observe(wait)
+	if s.cfg.RetainSamples {
+		s.slot[id] = len(s.metrics.Distances)
+		s.metrics.Distances = append(s.metrics.Distances, d)
+		s.metrics.Waits = append(s.metrics.Waits, wait)
+	}
 	s.metrics.TotalDistance += d
-	s.metrics.Waits = append(s.metrics.Waits, wait)
 	s.om.served.Inc()
 	s.om.waitSeconds.Observe(wait)
 	s.om.placementDC.Observe(d)
@@ -582,6 +734,7 @@ func (s *Simulator) depart(id int, now float64) {
 	delete(s.running, id)
 	delete(s.departEv, id)
 	delete(s.slot, id)
+	delete(s.samples, id)
 	s.sampleUtilization(now)
 	s.usedSlots -= alloc.TotalVMs()
 	d, _ := alloc.Distance(s.topo)

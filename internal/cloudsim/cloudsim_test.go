@@ -53,7 +53,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestImmediateServiceAndRelease(t *testing.T) {
 	tp, inv := plant(t)
-	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{})
+	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{RetainSamples: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestOversizedRequestRejected(t *testing.T) {
 
 func TestQueueingAndDrain(t *testing.T) {
 	tp, inv := plant(t)
-	sim, _ := New(tp, inv, &placement.OnlineHeuristic{}, Config{})
+	sim, _ := New(tp, inv, &placement.OnlineHeuristic{}, Config{RetainSamples: true})
 	// Request 0 takes the whole plant for 10s; request 1 arrives at t=2
 	// and must wait until t=11.
 	m, err := sim.Run([]model.TimedRequest{
@@ -177,7 +177,7 @@ func TestBatchModeServesBacklog(t *testing.T) {
 
 func TestStrictModeHeadBlocks(t *testing.T) {
 	tp, inv := plant(t)
-	sim, _ := New(tp, inv, &placement.OnlineHeuristic{}, Config{Strict: true})
+	sim, _ := New(tp, inv, &placement.OnlineHeuristic{}, Config{Strict: true, RetainSamples: true})
 	// After the big request departs at t=11 only 12+12 slots exist; the
 	// queued head wants everything, the small one behind it must wait
 	// despite fitting — strict mode blocks it until the head is served.
@@ -220,7 +220,7 @@ func TestEndToEndRandomWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{Policy: queue.FIFO})
+	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{Policy: queue.FIFO, RetainSamples: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestBatchWindowTradesWaitForDistance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{Batch: true, BatchWindow: window})
+		sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{Batch: true, BatchWindow: window, RetainSamples: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -376,9 +376,10 @@ func TestSoakLongHorizon(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim, err := New(topo, inv, &placement.OnlineHeuristic{}, Config{
-		Policy:  queue.PriorityPolicy,
-		Batch:   true,
-		Migrate: true,
+		Policy:        queue.PriorityPolicy,
+		Batch:         true,
+		Migrate:       true,
+		RetainSamples: true,
 	})
 	if err != nil {
 		t.Fatal(err)

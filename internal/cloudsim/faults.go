@@ -159,16 +159,25 @@ func (s *Simulator) teardown(id int, now float64) {
 	}
 	// Roll back the served sample: Metrics counts clusters that ran (or
 	// are running) to completion. The obs counters deliberately keep
-	// counting commissions instead.
-	idx := s.slot[id]
-	delete(s.slot, id)
+	// counting commissions instead. The per-active record carries the
+	// exact floats observed at commission, so the rollback is O(active)
+	// with or without retained slices (and the retained-slice surgery,
+	// which touches every later slot, only runs in retained mode).
+	rec := s.samples[id]
+	delete(s.samples, id)
 	s.metrics.Served--
-	s.metrics.TotalDistance -= s.metrics.Distances[idx]
-	s.metrics.Distances = slices.Delete(s.metrics.Distances, idx, idx+1)
-	s.metrics.Waits = slices.Delete(s.metrics.Waits, idx, idx+1)
-	for cid, sl := range s.slot {
-		if sl > idx {
-			s.slot[cid] = sl - 1
+	s.metrics.TotalDistance -= rec.d
+	s.metrics.DistanceSketch.Remove(rec.d)
+	s.metrics.WaitSketch.Remove(rec.wait)
+	if s.cfg.RetainSamples {
+		idx := s.slot[id]
+		delete(s.slot, id)
+		s.metrics.Distances = slices.Delete(s.metrics.Distances, idx, idx+1)
+		s.metrics.Waits = slices.Delete(s.metrics.Waits, idx, idx+1)
+		for cid, sl := range s.slot {
+			if sl > idx {
+				s.slot[cid] = sl - 1
+			}
 		}
 	}
 	s.om.running.Set(float64(len(s.running)))

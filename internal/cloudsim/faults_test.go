@@ -95,8 +95,9 @@ func TestCrashTeardownRequeueServedAfterRepair(t *testing.T) {
 	tp, inv := plant(t)
 	reg := obs.NewRegistry()
 	sim, err := New(tp, inv, &placement.OnlineHeuristic{}, Config{
-		Obs:      reg,
-		Recovery: RecoveryConfig{MaxAttempts: 2, Backoff: 1, Factor: 2},
+		Obs:           reg,
+		Recovery:      RecoveryConfig{MaxAttempts: 2, Backoff: 1, Factor: 2},
+		RetainSamples: true,
 	})
 	if err != nil {
 		t.Fatal(err)

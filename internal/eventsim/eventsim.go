@@ -13,10 +13,11 @@ import (
 
 // Event is one scheduled callback.
 type Event struct {
-	Time float64
-	Fn   func(now float64)
-	seq  int // FIFO tie-break among equal timestamps
-	idx  int // heap index, -1 once popped or cancelled
+	Time  float64
+	Fn    func(now float64)
+	class int // timestamp tie-break before seq; At/After use class 0
+	seq   int // FIFO tie-break among equal (Time, class)
+	idx   int // heap index, -1 once popped or cancelled
 }
 
 // Engine owns the event queue and the virtual clock. It is single-
@@ -46,6 +47,16 @@ func (e *Engine) Processed() int { return e.runs }
 // must not precede the current clock. It returns a handle usable with
 // Cancel.
 func (e *Engine) At(t float64, fn func(now float64)) (*Event, error) {
+	return e.AtClass(t, 0, fn)
+}
+
+// AtClass schedules fn at time t in the given tie-break class: among
+// events with equal timestamps, lower classes fire first regardless of
+// insertion order, and equal classes fall back to FIFO insertion order.
+// At and After schedule in class 0; a negative class lets an event
+// scheduled late (e.g. a lazily-pulled trace arrival) still outrank
+// same-timestamp events that entered the heap earlier.
+func (e *Engine) AtClass(t float64, class int, fn func(now float64)) (*Event, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		// A NaN would slip past the ordering checks below (every
 		// comparison is false) and silently corrupt the heap order.
@@ -57,7 +68,7 @@ func (e *Engine) At(t float64, fn func(now float64)) (*Event, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("eventsim: nil callback")
 	}
-	ev := &Event{Time: t, Fn: fn, seq: e.seq}
+	ev := &Event{Time: t, Fn: fn, class: class, seq: e.seq}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev, nil
@@ -115,13 +126,16 @@ func (e *Engine) RunUntil(deadline float64) float64 {
 	return e.now
 }
 
-// eventHeap orders by (Time, seq).
+// eventHeap orders by (Time, class, seq).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
 	}
 	return h[i].seq < h[j].seq
 }

@@ -280,3 +280,62 @@ func TestNonFiniteTimesRejected(t *testing.T) {
 		t.Errorf("heap polluted: %d pending", e.Pending())
 	}
 }
+
+// TestClassBreaksTimestampTies pins the class ordering: at one timestamp,
+// a negative-class event scheduled *after* class-0 events still fires
+// first, classes tie-break before insertion order, and equal classes keep
+// FIFO order.
+func TestClassBreaksTimestampTies(t *testing.T) {
+	e := New()
+	var order []string
+	log := func(name string) func(float64) {
+		return func(float64) { order = append(order, name) }
+	}
+	if _, err := e.At(5, log("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AtClass(5, 1, log("late-class")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(5, log("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AtClass(5, -1, log("arrival")); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := []string{"arrival", "a", "b", "late-class"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestClassZeroMatchesAt pins that At is exactly AtClass(..., 0, ...), so
+// existing callers keep their (Time, seq) ordering bit for bit.
+func TestClassZeroMatchesAt(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		var err error
+		if i%2 == 0 {
+			_, err = e.At(1, func(float64) { order = append(order, i) })
+		} else {
+			_, err = e.AtClass(1, 0, func(float64) { order = append(order, i) })
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}

@@ -230,3 +230,35 @@ type TimedRequest struct {
 	Hold     float64 // service duration once provisioned, simulation seconds
 	Priority int     // larger is more urgent; used by the priority queue policy
 }
+
+// RequestSource streams timed requests one at a time, so multi-million
+// request traces can be generated or replayed without ever materializing
+// them as a slice. Implementations must yield requests in non-decreasing
+// arrival order with strictly increasing IDs — that ordering is what lets
+// consumers (the cloud simulator's streaming run, the trace writer's
+// validator) do duplicate detection and scheduling in O(1) memory.
+type RequestSource interface {
+	// Next returns the next request. ok=false means the source is
+	// exhausted; a non-nil error aborts the stream.
+	Next() (r TimedRequest, ok bool, err error)
+}
+
+// SliceSource adapts an in-memory request slice to RequestSource, for
+// callers that already hold a (small) trace.
+type SliceSource struct {
+	reqs []TimedRequest
+	i    int
+}
+
+// NewSliceSource wraps reqs; the slice is read, never mutated.
+func NewSliceSource(reqs []TimedRequest) *SliceSource { return &SliceSource{reqs: reqs} }
+
+// Next yields the next element of the slice.
+func (s *SliceSource) Next() (TimedRequest, bool, error) {
+	if s.i >= len(s.reqs) {
+		return TimedRequest{}, false, nil
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true, nil
+}
