@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools fuzz-smoke faults-race service-race soak-race bench bench-hot bench-json bench-churn bench-service bench-soak bench-soak-short verify clean
+.PHONY: all build test race vet lint lint-tools lint-fixtures lint-json fuzz-smoke faults-race service-race soak-race bench bench-hot bench-json bench-churn bench-service bench-soak bench-soak-short verify clean
 
 all: build
 
@@ -21,8 +21,9 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static-analysis gate: the repo's own analyzer suite (detrand, errdrop,
-# maporder, scratchpool — see DESIGN.md §10) plus staticcheck and
+# Static-analysis gate: the repo's own analyzer suite (aliasret,
+# detrand, errdrop, goexit, hotpath, maporder, scratchpool,
+# singlewriter — see DESIGN.md §10 and §15) plus staticcheck and
 # govulncheck when installed. CI installs the pinned versions via
 # lint-tools; offline checkouts skip the external tools with a notice so
 # `make lint` stays runnable anywhere.
@@ -38,6 +39,19 @@ lint:
 lint-tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# The analyzers' own tests: fixture suites (testdata/src + // want),
+# the callgraph/driver unit tests, and the real-package hotpath check.
+# Fast — it skips the whole-repo self-host re-lint that `make test` runs.
+lint-fixtures:
+	$(GO) test ./internal/lint/...
+
+# Machine-readable findings for CI artifacts; [] on a clean tree. The
+# command exits 0 even with findings so the artifact always uploads —
+# the `lint` target is the pass/fail gate.
+lint-json:
+	$(GO) run ./cmd/affinitylint -json ./... > LINT.json || true
+	@cat LINT.json
 
 # Native fuzz targets, ~10s each: topology JSON import (reject or
 # round-trip, never panic) and Algorithm 1 placement (capacity respected,

@@ -2,16 +2,22 @@
 // analyzer suite: detrand (no wall clock / global rand / env reads in
 // simulation packages), maporder (map iteration order must not reach
 // ordered output), errdrop (no silently discarded errors from our own
-// APIs), and scratchpool (sync.Pool buffer discipline). It machine-
-// enforces the same-seed ⇒ byte-identical contract of DESIGN.md §7–§10.
+// APIs), scratchpool (sync.Pool buffer discipline), aliasret (exported
+// methods must not return views of unexported state uncopied),
+// singlewriter (inventory mutation flows through annotated owners),
+// hotpath (//lint:hotpath functions are statically allocation-free), and
+// goexit (every go statement has a provable shutdown edge). It machine-
+// enforces the same-seed ⇒ byte-identical contract of DESIGN.md §7–§10
+// and the concurrency-era invariants of §12–§15.
 //
 // Usage:
 //
-//	affinitylint [-json] [-C dir] [./...]
+//	affinitylint [-json] [-C dir] [-explain analyzer] [./...]
 //
 // The tool loads every package of the enclosing module (arguments other
 // than ./... select subdirectories) and exits 1 when findings remain
-// after //lint:allow suppression, 2 on load errors.
+// after //lint:allow suppression, 2 on load errors. -explain prints one
+// analyzer's full invariant documentation and exits.
 package main
 
 import (
@@ -23,26 +29,35 @@ import (
 	"strings"
 
 	"affinitycluster/internal/lint"
+	"affinitycluster/internal/lint/aliasret"
 	"affinitycluster/internal/lint/analysis"
 	"affinitycluster/internal/lint/detrand"
 	"affinitycluster/internal/lint/errdrop"
+	"affinitycluster/internal/lint/goexit"
+	"affinitycluster/internal/lint/hotpath"
 	"affinitycluster/internal/lint/load"
 	"affinitycluster/internal/lint/maporder"
 	"affinitycluster/internal/lint/scratchpool"
+	"affinitycluster/internal/lint/singlewriter"
 )
 
 // Suite is the full analyzer set, in report order.
 var suite = []*analysis.Analyzer{
+	aliasret.Analyzer,
 	detrand.Analyzer,
 	errdrop.Analyzer,
+	goexit.Analyzer,
+	hotpath.Analyzer,
 	maporder.Analyzer,
 	scratchpool.Analyzer,
+	singlewriter.Analyzer,
 }
 
 func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		listAll = flag.Bool("list", false, "list the analyzers and exit")
+		explain = flag.String("explain", "", "print one analyzer's invariant documentation and exit")
 		chdir   = flag.String("C", "", "change to dir before loading the module")
 	)
 	flag.Parse()
@@ -51,6 +66,20 @@ func main() {
 			fmt.Printf("%s: %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *explain != "" {
+		for _, a := range suite {
+			if a.Name != *explain {
+				continue
+			}
+			if a.Explain != "" {
+				fmt.Println(a.Explain)
+			} else {
+				fmt.Printf("%s — %s\n", a.Name, a.Doc)
+			}
+			return
+		}
+		fatal(fmt.Errorf("unknown analyzer %q (use -list)", *explain))
 	}
 	if *chdir != "" {
 		if err := os.Chdir(*chdir); err != nil {

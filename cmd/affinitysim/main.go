@@ -35,6 +35,7 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		//lint:allow goexit the pprof server intentionally lives for the process lifetime
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "affinitysim: pprof:", err)

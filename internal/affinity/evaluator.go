@@ -124,6 +124,8 @@ func (e *DistanceEvaluator) TotalVMs() int { return e.total }
 // HostingNodes returns the ascending IDs of nodes with at least one VM.
 // The returned slice is the evaluator's working storage: read-only, valid
 // until the next mutation.
+//
+//lint:shared documented working-storage view: read-only, valid until the next mutation
 func (e *DistanceEvaluator) HostingNodes() []topology.NodeID { return e.hosts }
 
 // Add registers one more VM on node i in O(hosts) (the aggregate updates

@@ -32,6 +32,8 @@ type SparseAlloc struct {
 }
 
 // Reset clears the entries (retaining capacity) and records the shape.
+//
+//lint:hotpath
 func (s *SparseAlloc) Reset(nodes, types int) {
 	s.NumNodes = nodes
 	s.NumTypes = types
@@ -39,6 +41,8 @@ func (s *SparseAlloc) Reset(nodes, types int) {
 }
 
 // Add appends one non-zero cell.
+//
+//lint:hotpath
 func (s *SparseAlloc) Add(node topology.NodeID, vt model.VMTypeID, count int) {
 	s.Entries = append(s.Entries, VMEntry{Node: node, Type: vt, Count: count})
 }

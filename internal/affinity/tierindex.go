@@ -84,10 +84,14 @@ func NewTierIndex(t *topology.Topology, l [][]int) (*TierIndex, error) {
 }
 
 // Topology returns the plant the index is built over.
+//
+//lint:shared the topology is immutable after construction and shared by design
 func (x *TierIndex) Topology() *topology.Topology { return x.t }
 
 // Matrix returns the aliased remaining-capacity matrix. Read-only for
 // anyone who is not also calling Apply.
+//
+//lint:shared documented alias of the owner's matrix; read-only off the writer
 func (x *TierIndex) Matrix() [][]int { return x.l }
 
 // Types returns the type dimension m.
@@ -102,16 +106,24 @@ func (x *TierIndex) Version() uint64 { return x.version }
 func (x *TierIndex) SetVersion(v uint64) { x.version = v }
 
 // Avail returns the availability vector A_j = Σ_i L_ij as a view.
+//
+//lint:shared zero-copy aggregate view; coherent only between Apply calls
 func (x *TierIndex) Avail() []int { return x.avail }
 
 // RackRemain returns rack r's per-type remaining totals as a view.
+//
+//lint:shared zero-copy aggregate view; coherent only between Apply calls
 func (x *TierIndex) RackRemain(r int) []int { return x.rackRemain[r*x.m : (r+1)*x.m] }
 
 // CloudRemain returns cloud c's per-type remaining totals as a view.
+//
+//lint:shared zero-copy aggregate view; coherent only between Apply calls
 func (x *TierIndex) CloudRemain(c int) []int { return x.cloudRemain[c*x.m : (c+1)*x.m] }
 
 // RackMaxCol returns rack r's per-type maximum single-node remaining
 // capacity as a view — the fast path's rack-level covering test.
+//
+//lint:shared zero-copy aggregate view; coherent only between Apply calls
 func (x *TierIndex) RackMaxCol(r int) []int { return x.rackMaxCol[r*x.m : (r+1)*x.m] }
 
 // NodeTotal returns Σ_j L_ij for node i.
@@ -211,6 +223,8 @@ func (x *TierIndex) Rebuild() {
 // update in O(1); a maximum that may have dropped is repaired by
 // rescanning the owning rack, and a rack-level maximum that carried its
 // cloud's triggers a rescan of that cloud's rack list.
+//
+//lint:hotpath
 func (x *TierIndex) Apply(i topology.NodeID, j int, delta int) {
 	if delta == 0 {
 		return
@@ -292,6 +306,8 @@ func (x *TierIndex) Apply(i topology.NodeID, j int, delta int) {
 // ApplyRow folds a whole-row change: every cell of node i moved from
 // the values implied by the per-type deltas. It is Apply per type, the
 // form FailNode/RestoreNode use.
+//
+//lint:hotpath
 func (x *TierIndex) ApplyRow(i topology.NodeID, deltas []int) {
 	for j, d := range deltas {
 		x.Apply(i, j, d)

@@ -290,6 +290,8 @@ type simMetrics struct {
 
 // New builds a simulator over a topology, a live inventory, and a
 // placement strategy.
+//
+//lint:owner singlewriter
 func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Placer, cfg Config) (*Simulator, error) {
 	if tp.Nodes() != inv.Nodes() {
 		return nil, fmt.Errorf("cloudsim: topology has %d nodes, inventory %d", tp.Nodes(), inv.Nodes())
@@ -403,6 +405,8 @@ func (s *Simulator) ServiceStats() (service.Stats, bool) {
 // the aggregate metrics once all work has drained. A bookkeeping failure
 // (a departure whose release does not fit the inventory) aborts the run
 // and is returned as an error instead of panicking.
+//
+//lint:owner singlewriter
 func (s *Simulator) Run(reqs []model.TimedRequest) (m *Metrics, err error) {
 	if s.serve != nil {
 		// The simulator owns the service's lifetime: stop its goroutines
@@ -454,6 +458,8 @@ type servedSample struct{ d, wait float64 }
 // arrivals are scheduled at arrivalClass, which reproduces Run's
 // "arrivals first at equal timestamps" pop order (pinned by
 // TestRunStreamMatchesRun).
+//
+//lint:owner singlewriter
 func (s *Simulator) RunStream(src model.RequestSource) (m *Metrics, err error) {
 	if s.serve != nil {
 		defer func() {

@@ -140,9 +140,13 @@ func NewProvisioner(topo *topology.Topology, capacities [][]int, opts Options) (
 }
 
 // Topology returns the physical plant.
+//
+//lint:shared the topology is immutable after construction and shared by design
 func (p *Provisioner) Topology() *topology.Topology { return p.topo }
 
 // Catalog returns the VM type catalog.
+//
+//lint:shared the catalog is immutable after construction and shared by design
 func (p *Provisioner) Catalog() model.Catalog { return p.catalog }
 
 // Available returns the current availability vector A.
@@ -159,6 +163,8 @@ func (p *Provisioner) CanSatisfy(r model.Request) bool { return p.inv.CanSatisfy
 var ErrUnsatisfiable = errors.New("core: request exceeds available resources")
 
 // Provision places one request, commits it, and returns the cluster.
+//
+//lint:owner singlewriter
 func (p *Provisioner) Provision(r model.Request) (*Cluster, error) {
 	if err := r.Validate(p.catalog); err != nil {
 		return nil, err
@@ -183,6 +189,8 @@ func (p *Provisioner) Provision(r model.Request) (*Cluster, error) {
 // sub-optimization algorithm (Algorithm 2) and commits the successful
 // allocations. The returned slice is parallel to reqs; entries whose
 // request could not be placed are nil.
+//
+//lint:owner singlewriter
 func (p *Provisioner) ProvisionBatch(reqs []model.Request) ([]*Cluster, error) {
 	for _, r := range reqs {
 		if err := r.Validate(p.catalog); err != nil {
@@ -213,6 +221,8 @@ func (p *Provisioner) ProvisionBatch(reqs []model.Request) ([]*Cluster, error) {
 // ProvisionForJob places a request with an objective tuned to the
 // MapReduce job the cluster will run (shuffle-heavy jobs weight pairwise
 // affinity, master-bound jobs weight DC) and commits it.
+//
+//lint:owner singlewriter
 func (p *Provisioner) ProvisionForJob(r model.Request, job mapreduce.JobSpec) (*Cluster, error) {
 	if err := r.Validate(p.catalog); err != nil {
 		return nil, err
@@ -256,6 +266,8 @@ func (p *Provisioner) SolveExact(r model.Request) (affinity.Allocation, float64,
 
 // Release returns the cluster's resources to the pool. Releasing twice is
 // a safe no-op.
+//
+//lint:owner singlewriter
 func (c *Cluster) Release() error {
 	c.relMu.Lock()
 	defer c.relMu.Unlock()

@@ -128,7 +128,9 @@ func (fs *FS) Write(name string, sizeMB float64, writer vcluster.VMID) ([]BlockI
 		remaining -= size
 	}
 	fs.files[name] = ids
-	return ids, nil
+	// Return a copy: ids is now the file table's entry, and a caller
+	// mutating the returned slice must not corrupt it (aliasret).
+	return append([]BlockID(nil), ids...), nil
 }
 
 // WriteRotating stores a file like Write but rotates the first replica's
@@ -164,7 +166,9 @@ func (fs *FS) WriteRotating(name string, sizeMB float64) ([]BlockID, error) {
 		writer = (writer + 1) % fs.cluster.Size()
 	}
 	fs.files[name] = ids
-	return ids, nil
+	// Same copy-on-return contract as Write: the stored entry must not
+	// be reachable through the return value.
+	return append([]BlockID(nil), ids...), nil
 }
 
 // placeReplicas implements the rack-aware policy: replica 1 on the

@@ -31,6 +31,8 @@ import (
 // stamps it with the inventory's new Version, so a reader can detect a
 // stale index by comparing idx.Version() against inv.Version(). Attaching
 // replaces any previously attached index.
+//
+//lint:shared the attached index is the shared view by contract; the inventory keeps it current under its own lock
 func (inv *Inventory) AttachTierIndex(t *topology.Topology) (*affinity.TierIndex, error) {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
@@ -51,6 +53,8 @@ func (inv *Inventory) AttachTierIndex(t *topology.Topology) (*affinity.TierIndex
 
 // TierIndex returns the attached index, or nil if AttachTierIndex has not
 // been called.
+//
+//lint:shared single-writer view of the attached index (see RemainingView's contract)
 func (inv *Inventory) TierIndex() *affinity.TierIndex {
 	inv.mu.RLock()
 	defer inv.mu.RUnlock()
@@ -64,6 +68,8 @@ func (inv *Inventory) TierIndex() *affinity.TierIndex {
 // mutations — see the package comment); everywhere else use Remaining for
 // a stable snapshot. The view exists for the placement hot path, where the
 // per-request clone of an n×m matrix is the dominant cost.
+//
+//lint:shared zero-copy single-writer view; the whole point of this accessor
 func (inv *Inventory) RemainingView() [][]int {
 	inv.mu.RLock()
 	defer inv.mu.RUnlock()
@@ -76,6 +82,8 @@ func (inv *Inventory) RemainingView() [][]int {
 // whole call fails with ErrInsufficient and the inventory is unchanged.
 // Unlike Allocate it touches only the listed cells, so a placement commit
 // is O(entries) rather than O(n·m).
+//
+//lint:hotpath
 func (inv *Inventory) AllocateList(entries []affinity.VMEntry) error {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
@@ -98,6 +106,8 @@ func (inv *Inventory) AllocateList(entries []affinity.VMEntry) error {
 // ReleaseList atomically returns a sparse allocation: C -= entry counts,
 // L += entry counts. It fails, changing nothing, if any cell would go
 // below zero allocated.
+//
+//lint:hotpath
 func (inv *Inventory) ReleaseList(entries []affinity.VMEntry) error {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()

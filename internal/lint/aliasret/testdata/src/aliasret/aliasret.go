@@ -1,0 +1,167 @@
+// Fixture for the aliasret analyzer: exported methods returning
+// references into unexported receiver state.
+package aliasret
+
+import (
+	"maps"
+	"slices"
+)
+
+type item struct{ n int }
+
+type box struct {
+	data  []int
+	rows  [][]int
+	m     map[string][]int
+	ptrs  []*item
+	idx   *item
+	count int
+	cache []int
+	Pub   []int
+}
+
+// --- bad: direct and derived views of state ---
+
+func (b *box) Data() []int { return b.data } // want "returns a reference into unexported receiver state"
+
+func (b *box) Index() *item { return b.idx } // want "returns a reference into unexported receiver state"
+
+func (b *box) Mapping() map[string][]int { return b.m } // want "returns a reference into unexported receiver state"
+
+func (b *box) Head(n int) []int { return b.data[:n] } // want "returns a reference into unexported receiver state"
+
+func (b *box) CountPtr() *int { return &b.count } // want "returns a reference into unexported receiver state"
+
+func (b *box) ViaLocal() []int {
+	x := b.data
+	return x // want "returns a reference into unexported receiver state"
+}
+
+func (b *box) Row(k string) []int {
+	v, ok := b.m[k]
+	if !ok {
+		return nil
+	}
+	return v // want "returns a reference into unexported receiver state"
+}
+
+func (b *box) FirstRow() []int {
+	for _, row := range b.rows {
+		if len(row) > 0 {
+			return row // want "returns a reference into unexported receiver state"
+		}
+	}
+	return nil
+}
+
+type intList []int
+
+func (b *box) Converted() intList { return intList(b.data) } // want "returns a reference into unexported receiver state"
+
+// StoreThenReturn builds a value, parks it in receiver state, and hands
+// it out — the AttachTierIndex shape: caller and receiver now share it.
+func (b *box) StoreThenReturn() []int {
+	out := make([]int, len(b.data))
+	copy(out, b.data)
+	b.cache = out
+	return out // want "returns a reference into unexported receiver state"
+}
+
+// SharedElems copies the slice header but the elements are pointers into
+// the same objects the receiver keeps.
+func (b *box) SharedElems() []*item {
+	out := make([]*item, len(b.ptrs))
+	copy(out, b.ptrs)
+	return out // want "returns a reference into unexported receiver state"
+}
+
+func (b *box) AppendTainted() []int {
+	x := b.data
+	x = append(x, 1)
+	return x // want "returns a reference into unexported receiver state"
+}
+
+func (b *box) NamedResult() (out []int) {
+	out = b.data
+	return // want "returns a reference into unexported receiver state"
+}
+
+// --- good: copies, call results, and non-state returns ---
+
+func (b *box) DataCopy() []int { return append([]int(nil), b.data...) }
+
+func (b *box) DataClone() []int { return slices.Clone(b.data) }
+
+func (b *box) MapClone() map[string][]int { return maps.Clone(b.m) }
+
+func (b *box) ExplicitCopy() []int {
+	out := make([]int, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+func (b *box) ordered() []int { return slices.Clone(b.data) }
+
+// Delegated returns a call result: the callee owns its copy contract.
+func (b *box) Delegated() []int { return b.ordered() }
+
+// Self returns the receiver — the caller already holds it.
+func (b *box) Self() *box { return b }
+
+// Public returns an exported field, visible to the caller anyway.
+func (b *box) Public() []int { return b.Pub }
+
+func (b *box) Count() int { return b.count }
+
+func (b *box) Reassigned() []int {
+	x := b.data
+	x = nil
+	return x
+}
+
+type block struct {
+	ID       int
+	Replicas []int
+}
+
+type twinRef struct {
+	A []int
+	B []int
+}
+
+type store struct {
+	blocks []block
+	twins  []twinRef
+}
+
+// BlockCopy re-clones the sole reference field of a struct value copy:
+// the copy is clean afterwards.
+func (s *store) BlockCopy(i int) block {
+	b := s.blocks[i]
+	b.Replicas = append([]int(nil), b.Replicas...)
+	return b
+}
+
+// TwinCopy cleans only one of two reference fields; the other still
+// aliases storage.
+func (s *store) TwinCopy(i int) twinRef {
+	t := s.twins[i]
+	t.A = append([]int(nil), t.A...)
+	return t // want "returns a reference into unexported receiver state"
+}
+
+// View is an intentional zero-copy view, declared as such.
+//
+//lint:shared single-writer view; callers must not retain across mutations
+func (b *box) View() []int { return b.data }
+
+//lint:shared
+func (b *box) BareShared() []int { return b.data } // want "needs a reason"
+
+// plain has no unexported reference state; nothing to alias.
+type plain struct {
+	Pub []int
+	n   int
+}
+
+func (p *plain) All() []int { return p.Pub }

@@ -29,6 +29,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by -list.
 	Doc string
+	// Explain is the long-form description shown by -explain: the
+	// invariant the analyzer encodes, its escape hatches, and the bug
+	// class it exists to prevent. Optional; -explain falls back to Doc.
+	Explain string
 	// Run executes the check against one package and reports diagnostics
 	// through the pass. The non-error return value is unused (kept for
 	// x/tools signature compatibility).

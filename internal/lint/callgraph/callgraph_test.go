@@ -1,0 +1,161 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"affinitycluster/internal/lint/callgraph"
+)
+
+const src = `package p
+
+type table struct {
+	fn func(int) int
+}
+
+func target(n int) int { return n }
+
+func direct() int { return target(1) }
+
+func viaDefer() {
+	defer direct()
+}
+
+func viaGo() {
+	go direct()
+}
+
+type recv struct{}
+
+func (recv) method() { target(2) }
+
+func methodCall() {
+	var r recv
+	r.method()
+}
+
+func methodValue() func() {
+	var r recv
+	return r.method
+}
+
+// fieldStore references target when storing it; calling through the
+// field later needs no edge of its own.
+func fieldStore(t *table) {
+	t.fn = target
+}
+
+func fieldCall(t *table) int {
+	return t.fn(3) // no edge: the target was linked at the storing site
+}
+
+func viaClosure() {
+	f := func() { target(4) }
+	f()
+}
+
+func isolated() int { return 42 }
+`
+
+func build(t *testing.T) (*callgraph.Graph, map[string]*types.Func) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.Build(pkg, info, []*ast.File{f})
+	byName := map[string]*types.Func{}
+	for _, fn := range g.Funcs() {
+		byName[fn.Name()] = fn
+	}
+	return g, byName
+}
+
+func hasEdge(g *callgraph.Graph, from, to *types.Func) bool {
+	for _, c := range g.Callees(from) {
+		if c == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEdges(t *testing.T) {
+	g, fns := build(t)
+	edges := []struct {
+		from, to string
+		want     bool
+	}{
+		{"direct", "target", true},
+		{"viaDefer", "direct", true},
+		{"viaGo", "direct", true},
+		{"method", "target", true},
+		{"methodCall", "method", true},
+		{"methodValue", "method", true}, // method value counts as may-call
+		{"fieldStore", "target", true},  // storing into a func field counts
+		{"fieldCall", "target", false},  // call through the field: no direct edge
+		{"viaClosure", "target", true},  // closure body attributed to encloser
+		{"isolated", "target", false},
+		{"direct", "isolated", false},
+	}
+	for _, e := range edges {
+		from, to := fns[e.from], fns[e.to]
+		if from == nil || to == nil {
+			t.Fatalf("missing function %q or %q", e.from, e.to)
+		}
+		if got := hasEdge(g, from, to); got != e.want {
+			t.Errorf("edge %s -> %s: got %v, want %v", e.from, e.to, got, e.want)
+		}
+	}
+}
+
+func TestDecls(t *testing.T) {
+	g, fns := build(t)
+	for name, fn := range fns {
+		decl := g.Decl(fn)
+		if decl == nil {
+			t.Fatalf("no decl for %s", name)
+		}
+		if decl.Name.Name != name {
+			t.Errorf("decl for %s is %s", name, decl.Name.Name)
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, fns := build(t)
+	reach := g.Reachable([]*types.Func{fns["viaDefer"]})
+	for _, want := range []string{"viaDefer", "direct", "target"} {
+		if !reach[fns[want]] {
+			t.Errorf("%s not reachable from viaDefer", want)
+		}
+	}
+	for _, not := range []string{"isolated", "methodCall", "method"} {
+		if reach[fns[not]] {
+			t.Errorf("%s unexpectedly reachable from viaDefer", not)
+		}
+	}
+	if len(g.Reachable(nil)) != 0 {
+		t.Errorf("Reachable(nil) should be empty")
+	}
+	// Roots are included even without self-edges.
+	if !g.Reachable([]*types.Func{fns["isolated"]})[fns["isolated"]] {
+		t.Errorf("root not in its own reachable set")
+	}
+}

@@ -1,0 +1,46 @@
+// Package directive parses the function-level lint annotations shared by
+// the concurrency-era analyzers:
+//
+//	//lint:shared <reason>      (aliasret: method intentionally returns a view)
+//	//lint:owner singlewriter   (singlewriter: audited mutation root)
+//	//lint:hotpath              (hotpath: must be statically allocation-free)
+//
+// A directive must sit in the doc comment attached to the function
+// declaration (no blank line between comment and func), mirroring how
+// //go:build and //go:noinline bind to what they precede.
+package directive
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const prefix = "//lint:"
+
+// Find returns the argument text of the named directive in doc, and
+// whether the directive is present at all. A bare directive returns
+// ("", true); an absent one returns ("", false).
+func Find(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	want := prefix + name
+	for _, c := range doc.List {
+		rest, found := strings.CutPrefix(c.Text, want)
+		if !found {
+			continue
+		}
+		// Reject prefix collisions: //lint:sharedfoo is not //lint:shared.
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// Has reports whether the named directive is present in doc.
+func Has(doc *ast.CommentGroup, name string) bool {
+	_, ok := Find(doc, name)
+	return ok
+}

@@ -1,0 +1,12 @@
+package goexit_test
+
+import (
+	"testing"
+
+	"affinitycluster/internal/lint/analysistest"
+	"affinitycluster/internal/lint/goexit"
+)
+
+func TestGoexit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goexit.Analyzer, "goexit")
+}

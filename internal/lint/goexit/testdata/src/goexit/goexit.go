@@ -1,0 +1,126 @@
+// Fixture for the goexit analyzer: go statements with and without
+// provable shutdown edges.
+package goexit
+
+import (
+	"fmt"
+	"sync"
+)
+
+type server struct {
+	intake chan int
+	applyC chan []int
+	done   chan struct{}
+}
+
+// --- good: the four accepted evidence shapes ---
+
+func waitGroupJoin(wg *sync.WaitGroup, work []int) {
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func rangeDrain(s *server) {
+	go func() {
+		for v := range s.applyC {
+			_ = v
+		}
+	}()
+}
+
+func commaOkLoop(s *server) {
+	go func() {
+		for {
+			v, ok := <-s.intake
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+func selectDone(s *server) {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.intake:
+				_ = v
+			}
+		}
+	}()
+}
+
+// batcher carries its own evidence; spawning the method is fine.
+func (s *server) batcher() {
+	for {
+		o, ok := <-s.intake
+		if !ok {
+			return
+		}
+		_ = o
+	}
+}
+
+func (s *server) start() {
+	go s.batcher()
+}
+
+// transitive: the evidence lives one call away.
+func drainAll(s *server) {
+	for v := range s.applyC {
+		_ = v
+	}
+}
+
+func runDrainer(s *server) {
+	go func() {
+		drainAll(s)
+	}()
+}
+
+// --- bad: leaks and unprovable spawns ---
+
+func spin() {
+	for {
+	}
+}
+
+func leakSpin() {
+	go spin() // want "spin has no provable shutdown edge"
+}
+
+func leakLit(s *server) {
+	go func() { // want "goroutine literal has no provable shutdown edge"
+		for {
+			s.applyC <- nil
+		}
+	}()
+}
+
+func leakVar(handler func()) {
+	go handler() // want "not declared in this package"
+}
+
+func leakExternal() {
+	go fmt.Println("spawned") // want "not declared in this package"
+}
+
+// A select that never returns is not a shutdown edge.
+func leakSelectNoReturn(s *server) {
+	go func() { // want "goroutine literal has no provable shutdown edge"
+		for {
+			select {
+			case v := <-s.intake:
+				_ = v
+			}
+		}
+	}()
+}

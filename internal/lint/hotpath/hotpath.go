@@ -1,0 +1,468 @@
+// Package hotpath makes the steady-state zero-allocation contract a
+// compile-time check: a function annotated `//lint:hotpath` must be
+// statically allocation-free. TestChurnSteadyStateZeroAllocs pins the
+// churn loop at 0 allocs/op, but a benchmark only covers the paths it
+// drives and only fails after the regression lands; this analyzer points
+// at the exact expression that would allocate.
+//
+// Flagged inside an annotated function:
+//
+//   - slice and map composite literals, &T{...} literals
+//   - make/new — except make in the pooled-scratch grow-guard shape
+//     `if len(x) < n { x = make(..., n) }` (scanScratch's lazy sizing)
+//   - append that is not a self-append — the only blessed shape is
+//     `x = append(x, ...)` / `x = append(x[:0], ...)`, the pooled
+//     scratch idiom that reuses the backing array it grows
+//   - function literals (closure capture) and method values
+//   - go statements
+//   - fmt calls, non-constant string concatenation, string<->[]byte/rune
+//     conversions
+//   - interface conversions of non-pointer-shaped values (assignments,
+//     call arguments, returns) — boxing allocates
+//
+// The check is per-function: callees are not followed, so every function
+// on a hot path carries its own annotation, and cold helpers (error
+// formatting on invalid input) deliberately stay unannotated.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"affinitycluster/internal/lint/analysis"
+	"affinitycluster/internal/lint/directive"
+)
+
+// Analyzer is the hotpath rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "//lint:hotpath functions must be statically allocation-free " +
+		"(no literals/make/new/append-to-new/closures/boxing/fmt)",
+	Explain: `hotpath — annotated functions provably allocate nothing.
+
+"//lint:hotpath" in a function's doc comment asserts the function is on
+the steady-state placement path (tierscan's scan, TierIndex.Apply,
+AllocateList/ReleaseList, Quantile.Observe, eventsim push/pop) and must
+not allocate. The analyzer flags every expression whose lowering can
+heap-allocate: slice/map/&struct literals, make and new, non-self
+append, closures and method values, go statements, fmt calls, string
+concatenation and string<->[]byte conversions, and interface boxing of
+non-pointer values.
+
+Two pooled-scratch idioms are recognized as allocation-free steady
+state: the grow-guard "if len(x) < n { x = make([]T, n) }" (amortized to
+zero by sync.Pool reuse) and the self-append "x = append(x, v)" /
+"x = append(x[:0], v)" which reuses the backing array it grows.
+
+The contract is per-function: annotate every function on the hot path
+individually (the benchmark gate TestChurnSteadyStateZeroAllocs remains
+the end-to-end truth), and leave cold error helpers unannotated rather
+than suppressing findings inside them.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive.Has(fd.Doc, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, fd: fd, okAppend: map[*ast.CallExpr]bool{}, okMake: map[*ast.CallExpr]bool{}}
+			c.walk(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checker walks one annotated function keeping the ancestor path, which
+// the grow-guard and self-append rules need.
+type checker struct {
+	pass     *analysis.Pass
+	fd       *ast.FuncDecl
+	path     []ast.Node
+	okAppend map[*ast.CallExpr]bool // append calls blessed as self-appends
+	okMake   map[*ast.CallExpr]bool // make calls blessed as grow-guarded
+}
+
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			c.path = c.path[:len(c.path)-1]
+			return false
+		}
+		descend := c.handle(n)
+		if descend {
+			c.path = append(c.path, n)
+		}
+		return descend
+	})
+}
+
+func (c *checker) handle(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		c.blessAssign(x)
+		c.checkAssignBoxing(x)
+	case *ast.CompositeLit:
+		c.compositeLit(x)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+				c.pass.Reportf(x.Pos(), "&composite literal allocates in //lint:hotpath %s", c.fd.Name.Name)
+			}
+		}
+	case *ast.CallExpr:
+		c.call(x)
+	case *ast.FuncLit:
+		c.pass.Reportf(x.Pos(), "closure allocates in //lint:hotpath %s", c.fd.Name.Name)
+		return false
+	case *ast.GoStmt:
+		c.pass.Reportf(x.Pos(), "go statement allocates in //lint:hotpath %s", c.fd.Name.Name)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && c.isString(x) && !c.isConst(x) {
+			c.pass.Reportf(x.Pos(), "string concatenation allocates in //lint:hotpath %s", c.fd.Name.Name)
+		}
+	case *ast.ReturnStmt:
+		c.checkReturnBoxing(x)
+	case *ast.SelectorExpr:
+		c.methodValue(x)
+	}
+	return true
+}
+
+// compositeLit flags slice and map literals; plain struct/array value
+// literals are stack values (append(s.Entries, VMEntry{...}) is fine).
+func (c *checker) compositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates in //lint:hotpath %s", c.fd.Name.Name)
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in //lint:hotpath %s", c.fd.Name.Name)
+	}
+}
+
+// blessAssign records append/make calls on the RHS that match the two
+// blessed pooled-scratch shapes, before the walker reaches them.
+func (c *checker) blessAssign(s *ast.AssignStmt) {
+	for i, rhs := range s.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(s.Lhs) {
+			continue
+		}
+		switch c.builtinName(call) {
+		case "append":
+			if len(call.Args) > 0 && s.Tok == token.ASSIGN &&
+				exprString(s.Lhs[i]) == exprString(appendBase(call.Args[0])) {
+				c.okAppend[call] = true
+			}
+		case "make":
+			if c.growGuarded(s.Lhs[i]) {
+				c.okMake[call] = true
+			}
+		}
+	}
+}
+
+// growGuarded reports whether the enclosing if-condition re-checks
+// len/cap of the assignment target — the lazy-sizing shape whose steady
+// state never takes the make branch.
+func (c *checker) growGuarded(lhs ast.Expr) bool {
+	want := exprString(lhs)
+	for i := len(c.path) - 1; i >= 0; i-- {
+		ifs, ok := c.path[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := c.builtinName(call)
+			if (name == "len" || name == "cap") && len(call.Args) == 1 &&
+				exprString(call.Args[0]) == want {
+				guarded = true
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	switch c.builtinName(call) {
+	case "append":
+		if !c.okAppend[call] {
+			c.pass.Reportf(call.Pos(), "append beyond the self-append scratch shape (x = append(x, ...)) "+
+				"allocates in //lint:hotpath %s", c.fd.Name.Name)
+		}
+		return
+	case "make":
+		if !c.okMake[call] {
+			c.pass.Reportf(call.Pos(), "make outside a len/cap grow-guard allocates in //lint:hotpath %s", c.fd.Name.Name)
+		}
+		return
+	case "new":
+		c.pass.Reportf(call.Pos(), "new allocates in //lint:hotpath %s", c.fd.Name.Name)
+		return
+	case "":
+	default:
+		return // other builtins (len, cap, copy, min, max, delete...) are free
+	}
+
+	// Conversions: string<->[]byte/[]rune allocate; other conversions are
+	// representation-free.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, c.pass.TypeOf(call.Args[0])
+		if isStringBytesConv(dst, src) {
+			c.pass.Reportf(call.Pos(), "string conversion allocates in //lint:hotpath %s", c.fd.Name.Name)
+		}
+		return
+	}
+
+	// fmt is never allocation-free.
+	if fn := c.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		c.pass.Reportf(call.Pos(), "%s.%s allocates in //lint:hotpath %s", fn.Pkg().Name(), fn.Name(), c.fd.Name.Name)
+		return
+	}
+
+	// Boxing at the call boundary: concrete non-pointer argument passed
+	// as an interface parameter.
+	sig, _ := c.calleeSignature(call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if pt := paramType(sig, i, call.Ellipsis != token.NoPos); pt != nil {
+			c.checkBoxing(pt, arg)
+		}
+	}
+}
+
+// paramType resolves the parameter type receiving argument i, unpacking
+// the variadic element type for spread-free calls.
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if hasEllipsis {
+			if i == n-1 {
+				return last
+			}
+			return nil
+		}
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+func (c *checker) checkAssignBoxing(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		var dst types.Type
+		if id, ok := unparen(s.Lhs[i]).(*ast.Ident); ok && s.Tok == token.DEFINE {
+			if obj := c.pass.ObjectOf(id); obj != nil {
+				dst = obj.Type()
+			}
+		} else {
+			dst = c.pass.TypeOf(s.Lhs[i])
+		}
+		if dst != nil {
+			c.checkBoxing(dst, rhs)
+		}
+	}
+}
+
+func (c *checker) checkReturnBoxing(s *ast.ReturnStmt) {
+	fn, ok := c.pass.TypesInfo.Defs[c.fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if len(s.Results) != results.Len() {
+		return // multi-value call passthrough: the callee's contract
+	}
+	for i, r := range s.Results {
+		c.checkBoxing(results.At(i).Type(), r)
+	}
+}
+
+// checkBoxing flags storing a concrete non-pointer-shaped value into an
+// interface destination — the conversion heap-allocates the box.
+func (c *checker) checkBoxing(dst types.Type, src ast.Expr) {
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[src]
+	if !ok || tv.IsNil() {
+		return
+	}
+	st := tv.Type
+	if st == nil {
+		return
+	}
+	if _, ok := st.Underlying().(*types.Interface); ok {
+		return // already boxed
+	}
+	if pointerShaped(st) {
+		return
+	}
+	c.pass.Reportf(src.Pos(), "interface conversion of non-pointer value allocates in //lint:hotpath %s", c.fd.Name.Name)
+}
+
+// methodValue flags x.m used as a value (not called): binding the
+// receiver allocates.
+func (c *checker) methodValue(sel *ast.SelectorExpr) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	if len(c.path) > 0 {
+		if call, ok := c.path[len(c.path)-1].(*ast.CallExpr); ok && unparen(call.Fun) == sel {
+			return
+		}
+	}
+	c.pass.Reportf(sel.Pos(), "method value allocates in //lint:hotpath %s", c.fd.Name.Name)
+}
+
+// --- small helpers ---
+
+func (c *checker) builtinName(call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := c.pass.ObjectOf(id).(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch x := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.ObjectOf(x).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.ObjectOf(x.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (c *checker) calleeSignature(call *ast.CallExpr) (*types.Signature, bool) {
+	t := c.pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (c *checker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// appendBase strips a reslice from append's first argument: x and x[:0]
+// share a backing array.
+func appendBase(e ast.Expr) ast.Expr {
+	if s, ok := unparen(e).(*ast.SliceExpr); ok {
+		return s.X
+	}
+	return unparen(e)
+}
+
+// isStringBytesConv reports a string <-> []byte/[]rune conversion.
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped types fit in an interface word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// exprString renders an expression for shape comparison (self-append and
+// grow-guard matching); it covers the lvalue forms those idioms use.
+func exprString(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "?"
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,54 @@
+package hotpath_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"affinitycluster/internal/lint"
+	"affinitycluster/internal/lint/analysis"
+	"affinitycluster/internal/lint/analysistest"
+	"affinitycluster/internal/lint/hotpath"
+	"affinitycluster/internal/lint/load"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "hotpath")
+}
+
+// TestRealScanScratchIsClean runs the analyzer against the repo's actual
+// internal/placement package — the pooled scanScratch machinery whose
+// zero-alloc contract the churn benchmark gate enforces dynamically. The
+// static check must agree: every //lint:hotpath function there is
+// allocation-free, and the annotations must actually be present (an empty
+// hot set would make this test vacuous).
+func TestRealScanScratchIsClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := load.ModuleRoot(cwd)
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "placement")
+	pkgs, err := load.NewLoader().LoadDir(dir, "affinitycluster/internal/placement")
+	if err != nil {
+		t.Fatalf("load internal/placement: %v", err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{hotpath.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s: %s", f.Posn, f.Message)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "tierscan.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(src), "//lint:hotpath"); n < 20 {
+		t.Fatalf("tierscan.go carries %d //lint:hotpath annotations, want >= 20 (hot set eroded?)", n)
+	}
+}

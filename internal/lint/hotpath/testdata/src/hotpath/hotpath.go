@@ -1,0 +1,193 @@
+// Fixture for the hotpath analyzer: //lint:hotpath functions must be
+// statically allocation-free.
+package hotpath
+
+import "fmt"
+
+type scratch struct {
+	ids   []int
+	resid []int
+	n     int
+}
+
+type entry struct{ node, count int }
+
+type alloc struct {
+	Entries []entry
+}
+
+// --- good: the pooled-scratch idioms and plain arithmetic ---
+
+// reset is the canonical self-append reuse shape.
+//
+//lint:hotpath
+func (s *scratch) reset(src []int) {
+	s.resid = s.resid[:0]
+	s.resid = append(s.resid, src...)
+	s.ids = append(s.ids[:0], src...)
+}
+
+// sup sizes its scratch lazily behind a grow-guard; the steady state
+// never takes the make branch.
+//
+//lint:hotpath
+func (s *scratch) sup(n int) []int {
+	if len(s.ids) < n {
+		s.ids = make([]int, n)
+	}
+	if cap(s.resid) < n {
+		s.resid = make([]int, 0, n)
+	}
+	return s.ids[:n]
+}
+
+// add appends a by-value struct literal into its own backing array.
+//
+//lint:hotpath
+func (a *alloc) add(node, count int) {
+	a.Entries = append(a.Entries, entry{node: node, count: count})
+}
+
+// push is the heap idiom: self-append through a pointer receiver deref.
+//
+//lint:hotpath
+func push(h *[]int, v int) {
+	*h = append(*h, v)
+}
+
+// score touches only existing storage.
+//
+//lint:hotpath
+func (s *scratch) score(w []int) int {
+	t := 0
+	for i, v := range w {
+		if i < len(s.resid) {
+			t += v * s.resid[i]
+		}
+	}
+	s.n = t
+	return t
+}
+
+// arrayLit is a stack value, not an allocation.
+//
+//lint:hotpath
+func arrayLit(i int) int {
+	tab := [4]int{1, 2, 4, 8}
+	return tab[i&3]
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return []int{1, 2, 3}
+}
+
+// --- bad: every allocating shape ---
+
+//lint:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//lint:hotpath
+func mapLit() map[string]int {
+	return map[string]int{} // want "map literal allocates"
+}
+
+//lint:hotpath
+func ptrLit() *entry {
+	return &entry{node: 1} // want "&composite literal allocates"
+}
+
+//lint:hotpath
+func bareMake(n int) []int {
+	return make([]int, n) // want "make outside a len/cap grow-guard allocates"
+}
+
+//lint:hotpath
+func wrongGuard(s *scratch, n int) {
+	if s.n < n { // guard does not re-check the target's len/cap
+		s.ids = make([]int, n) // want "make outside a len/cap grow-guard allocates"
+	}
+}
+
+//lint:hotpath
+func bareNew() *entry {
+	return new(entry) // want "new allocates"
+}
+
+//lint:hotpath
+func appendFresh(src []int) []int {
+	var out []int
+	out = append(out, src...) // self-append of a nil local is still the blessed shape
+	return out
+}
+
+//lint:hotpath
+func appendCross(s *scratch, src []int) {
+	s.ids = append(s.resid, src...) // want "append beyond the self-append scratch shape"
+}
+
+//lint:hotpath
+func appendExpr(s *scratch, v int) int {
+	return len(append(s.ids, v)) // want "append beyond the self-append scratch shape"
+}
+
+//lint:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want "closure allocates"
+}
+
+//lint:hotpath
+func spawn(ch chan int) {
+	go drain(ch) // want "go statement allocates"
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+//lint:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+}
+
+//lint:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//lint:hotpath
+func constConcat() string {
+	return "a" + "b" // folded at compile time: no finding
+}
+
+//lint:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want "string conversion allocates"
+}
+
+//lint:hotpath
+func box(n int) any {
+	return n // want "interface conversion of non-pointer value allocates"
+}
+
+//lint:hotpath
+func boxArg(n int) {
+	sink(n) // want "interface conversion of non-pointer value allocates"
+}
+
+func sink(v any) { _ = v }
+
+// pointerShaped values fit the interface word: no boxing.
+//
+//lint:hotpath
+func boxPtr(e *entry) any {
+	return e
+}
+
+//lint:hotpath
+func methodVal(s *scratch) func(int) []int {
+	return s.sup // want "method value allocates"
+}

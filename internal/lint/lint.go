@@ -9,7 +9,10 @@
 //	//lint:allow <analyzer> <reason>
 //
 // The reason is mandatory: an allow with no justification is reported as
-// a finding itself, so suppressions stay auditable.
+// a finding itself, so suppressions stay auditable. So is relevance: an
+// allow that suppresses nothing in the run (because the code it excused
+// was fixed or moved) is reported as stale, provided the analyzer it
+// names actually ran — suppressions cannot quietly outlive their bug.
 package lint
 
 import (
@@ -65,15 +68,27 @@ func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
 	return out
 }
 
+// allowEntry tracks whether a well-formed directive suppressed anything.
+type allowEntry struct {
+	d    allowDirective
+	used bool
+}
+
 // Run executes every analyzer over every package and returns the
 // non-suppressed findings sorted by position then analyzer. Malformed
 // suppression directives (missing analyzer or reason) surface as findings
-// from the synthetic "lintallow" analyzer.
+// from the synthetic "lintallow" analyzer, as do stale directives that
+// suppressed no finding of an analyzer that ran.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
-		// allowed[file][line] -> set of analyzer names suppressed there.
-		allowed := map[string]map[int]map[string]bool{}
+		// allowed[file][line] -> analyzer name -> directive entry.
+		allowed := map[string]map[int]map[string]*allowEntry{}
+		var entries []*allowEntry
 		for _, f := range pkg.Files {
 			for _, d := range parseAllows(pkg.Fset, f) {
 				posn := pkg.Fset.Position(d.pos)
@@ -87,13 +102,15 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				}
 				byLine := allowed[posn.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]*allowEntry{}
 					allowed[posn.Filename] = byLine
 				}
 				if byLine[d.line] == nil {
-					byLine[d.line] = map[string]bool{}
+					byLine[d.line] = map[string]*allowEntry{}
 				}
-				byLine[d.line][d.analyzer] = true
+				e := &allowEntry{d: d}
+				byLine[d.line][d.analyzer] = e
+				entries = append(entries, e)
 			}
 		}
 		for _, a := range analyzers {
@@ -107,8 +124,11 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 			pass.Report = func(d analysis.Diagnostic) {
 				posn := pkg.Fset.Position(d.Pos)
 				if byLine := allowed[posn.Filename]; byLine != nil {
-					if byLine[posn.Line][a.Name] || byLine[posn.Line-1][a.Name] {
-						return
+					for _, line := range []int{posn.Line, posn.Line - 1} {
+						if e := byLine[line][a.Name]; e != nil {
+							e.used = true
+							return
+						}
 					}
 				}
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
@@ -116,6 +136,19 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
+		}
+		// Stale audit: a directive naming an analyzer that ran but
+		// suppressed nothing has outlived whatever it excused.
+		for _, e := range entries {
+			if e.used || !ran[e.d.analyzer] {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: "lintallow",
+				Pos:      pkg.Fset.Position(e.d.pos),
+				Message: fmt.Sprintf("stale suppression: //lint:allow %s matched no %s finding; remove it",
+					e.d.analyzer, e.d.analyzer),
+			})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

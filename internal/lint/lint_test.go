@@ -3,6 +3,7 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"affinitycluster/internal/lint"
@@ -98,6 +99,55 @@ func now() time.Time {
 `)
 	if findings := runDetrand(t, root); len(findings) != 1 {
 		t.Fatalf("want 1 finding despite mismatched allow, got %+v", findings)
+	}
+}
+
+func TestStaleAllowIsReported(t *testing.T) {
+	root := writeModule(t, `package placement
+
+//lint:allow detrand the time.Now this excused was removed in a refactor
+func ok() int { return 1 }
+`)
+	findings := runDetrand(t, root)
+	if len(findings) != 1 || findings[0].Analyzer != "lintallow" {
+		t.Fatalf("want one lintallow stale finding, got %+v", findings)
+	}
+	if got := findings[0].Message; !strings.Contains(got, "stale suppression") || !strings.Contains(got, "detrand") {
+		t.Fatalf("stale message = %q", got)
+	}
+}
+
+func TestUsedAllowIsNotStale(t *testing.T) {
+	// One used directive, one stale: only the stale one is reported, at
+	// its own line.
+	root := writeModule(t, `package placement
+
+import "time"
+
+func now() time.Time { return time.Now() } //lint:allow detrand wall clock for an operator banner
+
+//lint:allow detrand nothing left to excuse here
+func ok() int { return 1 }
+`)
+	findings := runDetrand(t, root)
+	if len(findings) != 1 || findings[0].Analyzer != "lintallow" {
+		t.Fatalf("want exactly the stale finding, got %+v", findings)
+	}
+	if findings[0].Pos.Line != 7 {
+		t.Fatalf("stale finding at line %d, want 7", findings[0].Pos.Line)
+	}
+}
+
+func TestAllowForUnrunAnalyzerIsNotAudited(t *testing.T) {
+	// The directive names maporder, which does not run here; with no
+	// maporder pass there is no evidence the allow is stale.
+	root := writeModule(t, `package placement
+
+//lint:allow maporder iteration order justified elsewhere
+func ok() int { return 1 }
+`)
+	if findings := runDetrand(t, root); len(findings) != 0 {
+		t.Fatalf("want no findings for un-run analyzer's allow, got %+v", findings)
 	}
 }
 

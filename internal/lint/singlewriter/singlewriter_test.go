@@ -1,0 +1,12 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"affinitycluster/internal/lint/analysistest"
+	"affinitycluster/internal/lint/singlewriter"
+)
+
+func TestSinglewriter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), singlewriter.Analyzer, "inventory")
+}

@@ -1,0 +1,65 @@
+// Fixture for the singlewriter analyzer. The directory is named
+// "inventory" so the guarded type resolves exactly like the real
+// internal/inventory package.
+package inventory
+
+// Inventory is the guarded type.
+type Inventory struct {
+	remain [][]int
+}
+
+func (inv *Inventory) Allocate(node, typ, n int) error { return nil }
+
+func (inv *Inventory) Release(node, typ, n int) error { return nil }
+
+func (inv *Inventory) AttachTierIndex() error { return nil }
+
+// Clone is Inventory plumbing: calling a mutator on the copy is exempt.
+func (inv *Inventory) Clone() *Inventory {
+	out := &Inventory{}
+	_ = out.AttachTierIndex()
+	return out
+}
+
+// applyLoop is the audited mutation root.
+//
+//lint:owner singlewriter
+func applyLoop(inv *Inventory) {
+	_ = inv.Allocate(0, 0, 1)
+	commitRelease(inv)
+	fn := func() { _ = inv.Allocate(1, 0, 1) } // closure still owned by applyLoop
+	fn()
+	deferred(inv)
+}
+
+// commitRelease is reachable from the owner: no annotation needed.
+func commitRelease(inv *Inventory) {
+	_ = inv.Release(0, 0, 1)
+}
+
+// deferred is referenced (hence reachable) via applyLoop.
+func deferred(inv *Inventory) {
+	defer inv.Release(1, 0, 1)
+}
+
+// rogue mutates with no ownership chain.
+func rogue(inv *Inventory) {
+	_ = inv.Allocate(2, 0, 1) // want "Inventory.Allocate referenced outside a single-writer owner"
+}
+
+// smuggle hands the mutator out as a method value without calling it.
+func smuggle(inv *Inventory) func(int, int, int) error {
+	return inv.Release // want "Inventory.Release referenced outside a single-writer owner"
+}
+
+// misowner declares an unknown ownership class.
+//
+//lint:owner batchwriter
+func misowner(inv *Inventory) { // want "unknown //lint:owner argument \"batchwriter\""
+	_ = inv.Allocate(3, 0, 1) // want "Inventory.Allocate referenced outside a single-writer owner"
+}
+
+// reader only reads; no finding.
+func reader(inv *Inventory) int {
+	return len(inv.remain)
+}

@@ -254,6 +254,8 @@ type SliceSource struct {
 func NewSliceSource(reqs []TimedRequest) *SliceSource { return &SliceSource{reqs: reqs} }
 
 // Next yields the next element of the slice.
+//
+//lint:shared requests are immutable by contract; cloning per Next defeats zero-copy streaming
 func (s *SliceSource) Next() (TimedRequest, bool, error) {
 	if s.i >= len(s.reqs) {
 		return TimedRequest{}, false, nil

@@ -182,6 +182,8 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use. Returns
 // nil (a valid no-op handle) on a nil registry.
+//
+//lint:shared metric handles are shared by design; updates are atomic
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -198,6 +200,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use. Returns nil
 // (a valid no-op handle) on a nil registry.
+//
+//lint:shared metric handles are shared by design; updates are atomic
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -215,6 +219,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it with the given
 // bounds on first use; later calls reuse the existing bounds. Returns nil
 // (a valid no-op handle) on a nil registry or invalid bounds.
+//
+//lint:shared metric handles are shared by design; updates are locked
 func (r *Registry) Histogram(name string, min, max float64, buckets int) *Histogram {
 	if r == nil || buckets <= 0 || !(max > min) {
 		return nil

@@ -213,6 +213,8 @@ func (h *OnlineHeuristic) putScan(s *scanScratch) { h.scanPool.Put(s) }
 // sup returns the lazily-sized per-node supply scratch. It is only
 // needed once a build leaves the fast path, so plants that never spill
 // past their racks stay O(racks) in memory touched per request.
+//
+//lint:hotpath
 func (s *scanScratch) sup() []int {
 	if len(s.nodeSup) < s.t.Nodes() {
 		s.nodeSup = make([]int, s.t.Nodes())
@@ -223,6 +225,8 @@ func (s *scanScratch) sup() []int {
 // fastCover finds the lowest-ID node whose row covers r, scanning racks
 // in ascending lowest-node order and descending into a rack only when
 // its per-type column maxima pass the covering test.
+//
+//lint:hotpath
 func (s *scanScratch) fastCover(idx *affinity.TierIndex, r model.Request) (topology.NodeID, bool) {
 	t := s.t
 	l := idx.Matrix()
@@ -261,6 +265,8 @@ func (s *scanScratch) fastCover(idx *affinity.TierIndex, r model.Request) (topol
 // min(L_ij, R_j). When no column maximum exceeds its R_j the per-node
 // minima are vacuous and w_ρ is the index's RackMaxTotal; otherwise the
 // rack's nodes are scanned.
+//
+//lint:hotpath
 func (s *scanScratch) rackProbe(idx *affinity.TierIndex, r model.Request, rho int) (rackTot, w int) {
 	rr := idx.RackRemain(rho)
 	mc := idx.RackMaxCol(rho)
@@ -288,6 +294,8 @@ func (s *scanScratch) rackProbe(idx *affinity.TierIndex, r model.Request, rho in
 }
 
 // nodeCapOf is Σ_j min(L_ij, R_j) — how much of R one node can absorb.
+//
+//lint:hotpath
 func nodeCapOf(li []int, r model.Request) int {
 	c := 0
 	for j, need := range r {
@@ -302,6 +310,8 @@ func nodeCapOf(li []int, r model.Request) int {
 
 // rackTotOf is Σ_j min(Σ_{i∈ρ} L_ij, R_j) — rackProbe's rackTot without
 // the exact max-capacity scan.
+//
+//lint:hotpath
 func rackTotOf(idx *affinity.TierIndex, r model.Request, rho int) int {
 	rr := idx.RackRemain(rho)
 	tot := 0
@@ -316,6 +326,8 @@ func rackTotOf(idx *affinity.TierIndex, r model.Request, rho int) int {
 }
 
 // cloudTot is Σ_j min(Σ_{i∈cloud} L_ij, R_j).
+//
+//lint:hotpath
 func cloudTotOf(idx *affinity.TierIndex, r model.Request, c int) int {
 	cr := idx.CloudRemain(c)
 	tot := 0
@@ -333,6 +345,8 @@ func cloudTotOf(idx *affinity.TierIndex, r model.Request, c int) int {
 // cloud-tier bounds first, rack-tier bounds inside surviving clouds,
 // exact S_probe only for racks whose bound still ties or beats the
 // incumbent. Strict-> pruning keeps exact ties alive.
+//
+//lint:hotpath
 func (s *scanScratch) scanBound(idx *affinity.TierIndex, r model.Request, T int) float64 {
 	t := s.t
 	d := t.Distances()
@@ -417,6 +431,8 @@ func (s *scanScratch) scanBound(idx *affinity.TierIndex, r model.Request, T int)
 // TierSum's monotonicity — valid under the validated tier ordering —
 // TierSum(min(W*, amax), amax, T, T) > M proves no remote host reaches
 // M either, and the rack is skipped without simulating.
+//
+//lint:hotpath
 func (s *scanScratch) sweep(idx *affinity.TierIndex, r model.Request, T int, M float64) topology.NodeID {
 	t := s.t
 	d := t.Distances()
@@ -544,6 +560,8 @@ func (s *scanScratch) sweep(idx *affinity.TierIndex, r model.Request, T int, M f
 }
 
 // resetTallies clears only the cells the previous simulation touched.
+//
+//lint:hotpath
 func (s *scanScratch) resetTallies() {
 	for _, rr := range s.touched {
 		s.rackTake[rr] = 0
@@ -558,6 +576,8 @@ func (s *scanScratch) resetTallies() {
 
 // take absorbs com(L_i, residual) into the tallies (and dst when
 // non-nil), mirroring buildBuffer.take. Reports full coverage.
+//
+//lint:hotpath
 func (s *scanScratch) take(l [][]int, i topology.NodeID, dst *affinity.SparseAlloc) bool {
 	taken, left := 0, 0
 	li := l[i]
@@ -597,6 +617,8 @@ func (s *scanScratch) take(l [][]int, i topology.NodeID, dst *affinity.SparseAll
 }
 
 // supplyOf is Σ_j min(L_ij, residual_j).
+//
+//lint:hotpath
 func (s *scanScratch) supplyOf(li []int) int {
 	v := 0
 	for j, need := range s.resid {
@@ -616,6 +638,8 @@ func (s *scanScratch) supplyOf(li []int) int {
 // began — the exact take order of buildBuffer.buildAround. rackOnly
 // stops after the rack phase (the caller only needs the in-rack load
 // profile). Reports whether the residual was fully covered.
+//
+//lint:hotpath
 func (s *scanScratch) buildSim(idx *affinity.TierIndex, r model.Request, center topology.NodeID, dst *affinity.SparseAlloc, rackOnly bool) bool {
 	t := s.t
 	l := idx.Matrix()
@@ -691,6 +715,8 @@ func (s *scanScratch) buildSim(idx *affinity.TierIndex, r model.Request, center 
 // resid0, so a rack with ub == 0 holds only zero-supply nodes — the
 // greedy never takes from those, so dropping them leaves the take
 // sequence unchanged.
+//
+//lint:hotpath
 func (s *scanScratch) gatherNear(idx *affinity.TierIndex, cCloud, cRack int) {
 	s.rkHeap = s.rkHeap[:0]
 	for _, rho := range s.t.CloudRacks(cCloud) {
@@ -700,6 +726,7 @@ func (s *scanScratch) gatherNear(idx *affinity.TierIndex, cCloud, cRack int) {
 	}
 }
 
+//lint:hotpath
 func (s *scanScratch) gatherFar(idx *affinity.TierIndex, cCloud int) {
 	s.rkHeap = s.rkHeap[:0]
 	for c := 0; c < s.t.Clouds(); c++ {
@@ -727,6 +754,8 @@ func (s *scanScratch) gatherFar(idx *affinity.TierIndex, cCloud int) {
 // pushRackUb appends rho to the rack heap (unordered; drainBucket
 // heapifies) with its supply upper bound Σ_j min(RackMaxCol_j, resid0_j)
 // unless that bound is zero.
+//
+//lint:hotpath
 func (s *scanScratch) pushRackUb(idx *affinity.TierIndex, rho int) {
 	mc := idx.RackMaxCol(rho)
 	ub := 0
@@ -750,6 +779,8 @@ func (s *scanScratch) pushRackUb(idx *affinity.TierIndex, rho int) {
 // has supply ≤ ub < the open maximum, or ties it with a strictly higher
 // ID (rack node IDs are contiguous and start at the rack's lowest), and
 // so sorts after it. Reports whether the residual reached zero.
+//
+//lint:hotpath
 func (s *scanScratch) drainBucket(idx *affinity.TierIndex, l [][]int, dst *affinity.SparseAlloc) bool {
 	for root := len(s.rkHeap)/2 - 1; root >= 0; root-- {
 		s.siftRack(root)
@@ -784,6 +815,8 @@ func (s *scanScratch) drainBucket(idx *affinity.TierIndex, l [][]int, dst *affin
 
 // supply0 is Σ_j min(L_ij, resid0_j) — supplyOf against the remote
 // phase's residual snapshot.
+//
+//lint:hotpath
 func (s *scanScratch) supply0(li []int) int {
 	v := 0
 	for j, need := range s.resid0 {
@@ -799,6 +832,8 @@ func (s *scanScratch) supply0(li []int) int {
 // rackBefore orders the rack heap: supply bound descending, ties by
 // ascending lowest node ID (so a tied rack that could still supply a
 // lower-ID node is opened before that node is taken).
+//
+//lint:hotpath
 func (s *scanScratch) rackBefore(a, b int) bool {
 	if s.rkUb[a] != s.rkUb[b] {
 		return s.rkUb[a] > s.rkUb[b]
@@ -806,6 +841,7 @@ func (s *scanScratch) rackBefore(a, b int) bool {
 	return s.t.RackNodes(a)[0] < s.t.RackNodes(b)[0]
 }
 
+//lint:hotpath
 func (s *scanScratch) siftRack(root int) {
 	h := s.rkHeap
 	n := len(h)
@@ -825,6 +861,7 @@ func (s *scanScratch) siftRack(root int) {
 	}
 }
 
+//lint:hotpath
 func (s *scanScratch) popRack() int {
 	h := s.rkHeap
 	top := h[0]
@@ -837,6 +874,8 @@ func (s *scanScratch) popRack() int {
 
 // nodeBefore orders the node heap: exact supply descending, ties by
 // ascending node ID — the same strict total order sortBySupply uses.
+//
+//lint:hotpath
 func (s *scanScratch) nodeBefore(a, b topology.NodeID) bool {
 	if s.nodeSup[a] != s.nodeSup[b] {
 		return s.nodeSup[a] > s.nodeSup[b]
@@ -844,6 +883,7 @@ func (s *scanScratch) nodeBefore(a, b topology.NodeID) bool {
 	return a < b
 }
 
+//lint:hotpath
 func (s *scanScratch) pushNode(id topology.NodeID) {
 	s.ndHeap = append(s.ndHeap, id)
 	h := s.ndHeap
@@ -857,6 +897,7 @@ func (s *scanScratch) pushNode(id topology.NodeID) {
 	}
 }
 
+//lint:hotpath
 func (s *scanScratch) popNode() topology.NodeID {
 	h := s.ndHeap
 	top := h[0]
@@ -884,6 +925,8 @@ func (s *scanScratch) popNode() topology.NodeID {
 // score prices the current tallies exactly as affinity.DistanceOf does:
 // per touched rack the max-loaded (lowest-ID) node, min across racks
 // with ties toward the lowest node ID.
+//
+//lint:hotpath
 func (s *scanScratch) score(t *topology.Topology, d topology.Distances, total int) (float64, topology.NodeID) {
 	best := math.Inf(1)
 	bestK := topology.NodeID(-1)
@@ -900,33 +943,41 @@ func (s *scanScratch) score(t *topology.Topology, d topology.Distances, total in
 // the same strict total order buildBuffer.bySupply defines, so any
 // correct sort yields the same sequence. Heapsort keeps the scan
 // allocation-free without leaning on closure escape analysis.
+//
+//lint:hotpath
 func sortBySupply(ids []topology.NodeID, sup []int) {
-	after := func(a, b topology.NodeID) bool { // a sorts after b
-		if sup[a] != sup[b] {
-			return sup[a] < sup[b]
-		}
-		return a > b
-	}
 	n := len(ids)
 	for root := n/2 - 1; root >= 0; root-- {
-		siftSupply(ids, sup, root, n, after)
+		siftSupply(ids, sup, root, n)
 	}
 	for end := n - 1; end > 0; end-- {
 		ids[0], ids[end] = ids[end], ids[0]
-		siftSupply(ids, sup, 0, end, after)
+		siftSupply(ids, sup, 0, end)
 	}
 }
 
-func siftSupply(ids []topology.NodeID, sup []int, root, end int, after func(a, b topology.NodeID) bool) {
+// supplyAfter reports whether a sorts after b: lower supply last, ties
+// broken by higher ID last.
+//
+//lint:hotpath
+func supplyAfter(sup []int, a, b topology.NodeID) bool {
+	if sup[a] != sup[b] {
+		return sup[a] < sup[b]
+	}
+	return a > b
+}
+
+//lint:hotpath
+func siftSupply(ids []topology.NodeID, sup []int, root, end int) {
 	for {
 		child := 2*root + 1
 		if child >= end {
 			return
 		}
-		if child+1 < end && after(ids[child+1], ids[child]) {
+		if child+1 < end && supplyAfter(sup, ids[child+1], ids[child]) {
 			child++
 		}
-		if !after(ids[child], ids[root]) {
+		if !supplyAfter(sup, ids[child], ids[root]) {
 			return
 		}
 		ids[root], ids[child] = ids[child], ids[root]

@@ -180,6 +180,8 @@ type Service struct {
 // New validates the configuration, attaches a tier index to the
 // inventory, and starts the batcher and apply goroutines. The returned
 // service must be Closed to release them.
+//
+//lint:owner singlewriter
 func New(cfg Config) (*Service, error) {
 	if cfg.Topology == nil || cfg.Inventory == nil {
 		return nil, errors.New("service: Topology and Inventory are required")
@@ -395,6 +397,8 @@ func (s *Service) batcher() {
 
 // applyLoop is the inventory's single writer: it commits batches in order,
 // then fails whatever is still parked once the batcher exits.
+//
+//lint:owner singlewriter
 func (s *Service) applyLoop() {
 	defer close(s.done)
 	for batch := range s.applyC {

@@ -269,6 +269,8 @@ func (t *Topology) SameRack(a, b NodeID) bool { return t.rackOf[a] == t.rackOf[b
 // RackNodes returns the IDs of the nodes in rack r in ascending order (so
 // RackNodes(r)[0] is the lowest node ID of the rack). The returned slice
 // must not be modified.
+//
+//lint:shared documented read-only view; the topology is immutable after construction
 func (t *Topology) RackNodes(r int) []NodeID { return t.rackNodes[r] }
 
 // CloudOfRack returns the cloud index of rack r, or -1 for a rack without
@@ -281,11 +283,15 @@ func (t *Topology) RackSize(r int) int { return len(t.rackNodes[r]) }
 
 // CloudRacks returns the non-empty racks of cloud c in ascending rack
 // index. The returned slice must not be modified.
+//
+//lint:shared documented read-only view; the topology is immutable after construction
 func (t *Topology) CloudRacks(c int) []int { return t.cloudRacks[c] }
 
 // RacksByLowestNode returns every non-empty rack ordered by its lowest
 // node ID — the sweep order of the center scan's lowest-ID tie-break
 // reconstruction. The returned slice must not be modified.
+//
+//lint:shared documented read-only view; the topology is immutable after construction
 func (t *Topology) RacksByLowestNode() []int { return t.racksByLow }
 
 // Distances returns the tier constants of the topology.
@@ -318,6 +324,8 @@ func (t *Topology) tierDistance(a, b NodeID) float64 {
 // DistanceRow returns the row D[a][·] of the distance matrix. For plants
 // with a materialized flat table the returned slice aliases it and must not
 // be modified; larger plants get a freshly computed row.
+//
+//lint:shared documented read-only view of the immutable flat table
 func (t *Topology) DistanceRow(a NodeID) []float64 {
 	n := len(t.nodes)
 	if t.flat != nil {

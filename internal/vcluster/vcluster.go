@@ -62,12 +62,16 @@ func (c *Cluster) Size() int { return len(c.vms) }
 func (c *Cluster) VM(id VMID) VM { return c.vms[id] }
 
 // VMs returns all VMs; the slice must not be modified.
+//
+//lint:shared documented read-only view of the VM table
 func (c *Cluster) VMs() []VM { return c.vms }
 
 // NodeOf returns the physical node hosting a VM.
 func (c *Cluster) NodeOf(id VMID) topology.NodeID { return c.vms[id].Node }
 
 // Topology returns the underlying physical plant.
+//
+//lint:shared the topology is immutable after construction and shared by design
 func (c *Cluster) Topology() *topology.Topology { return c.topo }
 
 // Distance returns the physical distance between the hosts of two VMs
