@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint lint-tools lint-fixtures lint-json fuzz-smoke faults-race service-race soak-race bench bench-hot bench-json bench-churn bench-service bench-soak bench-soak-short verify clean
+.PHONY: all build test race vet lint lint-tools lint-fixtures lint-json fuzz-smoke faults-race service-race soak-race elastic-race bench bench-hot bench-json bench-churn bench-service bench-soak bench-soak-short bench-elastic verify clean
 
 all: build
 
@@ -81,6 +81,15 @@ soak-race:
 	$(GO) test -race ./internal/cloudsim ./internal/experiments ./internal/trace ./internal/workload -run 'Stream|Soak|OpenLoop'
 	$(GO) run -race ./cmd/affinitysim -fig soak -requests 20000 > /dev/null
 
+# Elastic-resize gate: the delta-placement, mid-job resize, and
+# grow/shrink service tests under the race detector, plus one seeded
+# end-to-end elastic figure, so every resize path (PlaceDelta,
+# ReleaseSubset, deadline admission, deferred grows, teardown
+# cancellation) runs race-checked on each change.
+elastic-race:
+	$(GO) test -race ./internal/placement ./internal/cloudsim ./internal/experiments ./internal/service -run 'Elastic|PlaceDelta|ReleaseSubset|DeltaChurn|GrowShrink|ShrinkWakes|GrowInsufficient'
+	$(GO) run -race ./cmd/affinitysim -fig elastic > /dev/null
+
 # Full benchmark suite: every table/figure plus ablations.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -123,6 +132,13 @@ bench-service:
 bench-soak:
 	$(GO) test -run '^$$' -bench 'BenchmarkSoak' -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_soak.json
 	@cat BENCH_soak.json
+
+# Mid-job resize benchmarks (grow-by-k through PlaceDeltaSparse against
+# populated 16k- and 1M-node plants) recorded as machine-readable JSON.
+# Same fixed 100-iteration benchtime as bench-json/bench-churn.
+bench-elastic:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlaceDelta' -benchmem -benchtime=100x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_elastic.json
+	@cat BENCH_elastic.json
 
 # CI's short arm: only the 100k-request soak (the 1M arm skips under
 # -short), same JSON artifact shape.

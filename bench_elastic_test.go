@@ -1,0 +1,70 @@
+// Elastic-resize benchmarks: the cost of growing a live cluster by k
+// VMs through PlaceDeltaSparse against a populated plant with the
+// persistent tier index attached — the mid-job resize hot path. Each op
+// places the delta near the cluster's current center and immediately
+// releases it, so the plant stays in steady state and the figure is the
+// pure grow cost. BenchmarkPlaceDelta feeds BENCH_elastic.json
+// (make bench-elastic).
+package bench
+
+import (
+	"testing"
+
+	"affinitycluster/internal/affinity"
+	"affinitycluster/internal/model"
+	"affinitycluster/internal/placement"
+	"affinitycluster/internal/topology"
+	"affinitycluster/internal/workload"
+)
+
+// BenchmarkPlaceDelta measures grow-by-k against the 16k-node and
+// million-node plants at 60% utilization. The grow target is one of the
+// prefilled clusters; k counts VMs spread over the plant's three types.
+func BenchmarkPlaceDelta(b *testing.B) {
+	if testing.Short() {
+		b.Skip("delta plants are too heavy for -short runs")
+	}
+	const types = 3
+	run := func(name string, clouds, racks, nodesPerRack, k int) {
+		b.Run(name, func(b *testing.B) {
+			topo, err := topology.Uniform(clouds, racks, nodesPerRack, topology.DefaultDistances())
+			if err != nil {
+				b.Fatal(err)
+			}
+			caps, err := workload.RandomCapacities(benchSeed, topo.Nodes(), types, workload.DefaultInventoryConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ring := fillChurnRing(b, topo, caps, nodesPerRack, 60, benchSeed)
+			cur := ring.ents[0]
+			delta := make(model.Request, types)
+			for j := 0; j < k; j++ {
+				delta[j%types]++
+			}
+			var sp affinity.SparseAlloc
+			h := &placement.OnlineHeuristic{Policy: placement.ScanAllCenters}
+			// One warm op sizes sp and the scan pools so the timed loop
+			// reports the allocation-free steady state.
+			if _, _, err := h.PlaceDeltaSparse(ring.idx, cur, delta, &sp); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := h.PlaceDeltaSparse(ring.idx, cur, delta, &sp); err != nil {
+					b.Fatal(err)
+				}
+				if err := ring.inv.AllocateList(sp.Entries); err != nil {
+					b.Fatal(err)
+				}
+				if err := ring.inv.ReleaseList(sp.Entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("grow-by-3/10x40x40/util60", 10, 40, 40, 3)
+	run("grow-by-12/10x40x40/util60", 10, 40, 40, 12)
+	run("grow-by-3/100x100x100/util60", 100, 100, 100, 3)
+	run("grow-by-12/100x100x100/util60", 100, 100, 100, 12)
+}

@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|service|soak|all]
+//	affinitysim [-seed N] [-fig 2|3|4|5|6|ops|faults|service|soak|elastic|all]
 //	            [-mtbf N] [-mttr N] [-requests N]
 //	            [-metrics out.json] [-trace out.jsonl] [-pprof addr]
+//
+// The faults, service, soak, and elastic figures are their own
+// -metrics/-trace producers; the soak figure streams its trace to the
+// -trace file event by event instead of retaining it.
 package main
 
 import (
@@ -25,7 +29,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 2012, "random seed for capacities and requests")
-	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, service, soak, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 3, 4, 5, 6, ops, faults, service, soak, elastic, or all")
 	mtbf := flag.Float64("mtbf", 0, "faults figure: mean time between failures (0 = scenario default)")
 	mttr := flag.Float64("mttr", 0, "faults figure: mean time to repair (0 = scenario default)")
 	requests := flag.Int("requests", 0, "soak figure: open-loop request count (0 = scenario default)")
@@ -89,7 +93,7 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 	// The ops scenario is the metrics/trace producer; force it when an
 	// export was requested even if -fig selects only classic figures
 	// (the faults figure is its own producer and takes over the exports).
-	if want("ops") || (fig != "faults" && fig != "service" && (metricsPath != "" || tracePath != "")) {
+	if want("ops") || (fig != "faults" && fig != "service" && fig != "soak" && fig != "elastic" && (metricsPath != "" || tracePath != "")) {
 		res, err := experiments.Ops(seed, experiments.DefaultOpsConfig(seed))
 		if err != nil {
 			return err
@@ -161,8 +165,24 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 		if requests > 0 {
 			cfg.Requests = requests
 		}
+		// The soak run streams its trace: the sink file must exist before
+		// the replay starts, and nothing is retained for a later export.
+		var traceFile *os.File
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return fmt.Errorf("creating trace file: %w", err)
+			}
+			traceFile = f
+			cfg.Trace = f
+		}
 		start := time.Now()
 		res, err := experiments.Soak(seed, cfg)
+		if traceFile != nil {
+			if cerr := traceFile.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing trace file: %w", cerr)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -172,8 +192,33 @@ func run(w io.Writer, seed int64, fig, metricsPath, tracePath string, mtbf, mttr
 		// stay out of Render() — the report above is seed-deterministic.
 		fmt.Fprintf(w, "replay: %.2fs wall (%.0f req/s), peak heap %.1f MiB\n\n",
 			elapsed, float64(cfg.Requests)/elapsed, float64(res.PeakHeapBytes)/(1<<20))
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, res.Reg.WriteMetricsJSON); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
 	}
-	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults", "service", "soak"}, fig) {
+	// The elastic figure — static vs mid-job-resize on the same seed —
+	// is, like faults, NOT part of -fig all: classic figure output stays
+	// byte-identical and elastic runs are an explicit opt-in.
+	if fig == "elastic" {
+		res, err := experiments.Elastic(seed, experiments.DefaultElasticConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Render())
+		if metricsPath != "" {
+			if err := writeFile(metricsPath, res.WriteMetrics); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		}
+		if tracePath != "" {
+			if err := writeFile(tracePath, res.WriteTrace); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+		}
+	}
+	if fig != "all" && !contains([]string{"2", "3", "4", "5", "6", "ops", "faults", "service", "soak", "elastic"}, fig) {
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil

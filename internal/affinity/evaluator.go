@@ -330,6 +330,87 @@ func (e *DistanceEvaluator) AddPreview(q topology.NodeID) (float64, topology.Nod
 	return best, bestK
 }
 
+// RemovePreview prices the hypothetical removal of one VM from node p:
+// the exact DC(C) and central node the cluster would have without that
+// VM, computed without mutating the evaluator. It is the shrink
+// planner's victim probe (placement.ReleaseSubset tries every hosting
+// node for each VM it must give back); it panics when p hosts no VM.
+// Removing the last VM yields (0, -1), matching Distance on an empty
+// cluster.
+func (e *DistanceEvaluator) RemovePreview(p topology.NodeID) (float64, topology.NodeID) {
+	if e.w[p] <= 0 {
+		panic(fmt.Sprintf("affinity: RemovePreview(%d) from empty node", p))
+	}
+	if e.total == 1 {
+		return 0, -1
+	}
+	d := e.t.Distances()
+	total := e.total - 1
+	rp, cp := e.t.RackOf(p), e.t.CloudOf(p)
+	racks := append(e.scanRacks[:0], e.active...)
+	lbs := e.scanLB[:0]
+	rws := e.scanRW[:0]
+	cws := e.scanCW[:0]
+	seed := -1
+	for idx, r := range racks {
+		rw := e.rackW[r]
+		cl := e.t.CloudOfRack(r)
+		cw := e.cloudW[cl]
+		if r == rp {
+			rw--
+		}
+		if cl == cp {
+			cw--
+		}
+		rws = append(rws, rw)
+		cws = append(cws, cw)
+		if rw == 0 { // the removal drains this rack entirely
+			lbs = append(lbs, math.Inf(1))
+			continue
+		}
+		lb := TierSum(d, rw, rw, cw, total)
+		lbs = append(lbs, lb)
+		if seed < 0 || lb < lbs[seed] {
+			seed = idx
+		}
+	}
+	e.scanRacks, e.scanLB, e.scanRW, e.scanCW = racks, lbs, rws, cws
+
+	best := math.Inf(1)
+	bestK := topology.NodeID(-1)
+	scan := func(idx int) {
+		r := racks[idx]
+		maxW := 0
+		maxID := topology.NodeID(-1)
+		for _, h := range e.rackHosts[r] {
+			wh := e.w[h]
+			if h == p {
+				wh--
+			}
+			if wh == 0 {
+				continue
+			}
+			if wh > maxW || (wh == maxW && h < maxID) {
+				maxW, maxID = wh, h
+			}
+		}
+		if maxW == 0 {
+			return
+		}
+		if s := TierSum(d, maxW, rws[idx], cws[idx], total); s < best || (s == best && maxID < bestK) {
+			best, bestK = s, maxID
+		}
+	}
+	scan(seed)
+	for idx := range racks {
+		if idx == seed || lbs[idx] > best {
+			continue
+		}
+		scan(idx)
+	}
+	return best, bestK
+}
+
 // bestCenter minimizes S_k over the cluster's hosting nodes — the current
 // ones when p < 0, or those after a hypothetical single-VM move p→q. The
 // minimum over all n candidate centers is always attained at a hosting node

@@ -88,6 +88,13 @@ type Config struct {
 	// served run is byte-identical to a direct one: metrics, registry
 	// snapshot, and event trace all match (pinned by TestServeParity).
 	Serve *service.Config
+	// Elastic, when enabled, resizes every served cluster across its
+	// map/shuffle boundary: grow for the map phase, shrink into the
+	// shuffle, with deadline-aware admission (see
+	// internal/cloudsim/elastic.go). Requires the indexed online
+	// heuristic in direct per-request mode; composes with Faults. The
+	// zero value leaves the static simulation untouched.
+	Elastic ElasticConfig
 	// RetainSamples keeps the exact per-request Distances and Waits
 	// slices on Metrics — O(served requests) memory, required for exact
 	// percentiles and the paper figures' byte-identical sample order. The
@@ -206,6 +213,18 @@ type Metrics struct {
 	Requeued         int
 	Replacements     int
 	RetriesExhausted int
+	// Elastic resize accounting, all zero unless Config.Elastic is
+	// enabled. Every grow op terminates in exactly one of Grows,
+	// GrowRejected, or Deferred, so GrowRequests == Grows + GrowRejected
+	// + Deferred at the end of every run (checked, like the request
+	// identity Served + Rejected + Unplaced == requests) — mid-job
+	// deltas never double-count.
+	GrowRequests int // grow ops opened at commission
+	Grows        int // grow ops served (VMs added near the center)
+	GrowVMs      int // VMs added across all served grows
+	Shrinks      int // boundary shrinks executed
+	GrowRejected int // grows refused by deadline/oversize admission
+	Deferred     int // grows deferred and never served (expired or cluster gone)
 }
 
 // Simulator runs one scenario.
@@ -228,6 +247,12 @@ type Simulator struct {
 	online *placement.OnlineHeuristic
 	tidx   *affinity.TierIndex
 	sp     affinity.SparseAlloc
+	spd    affinity.SparseAlloc // grow-delta scratch, distinct from sp
+
+	// Elastic resize state: resolved config and the per-cluster resize
+	// lifecycle records (nil map when elastic mode is off).
+	ecfg    ElasticConfig
+	elastic map[int]*elasticState
 
 	// serve, when Config.Serve is set, owns the inventory: place and
 	// depart go through it and never touch inv's mutators directly.
@@ -281,6 +306,10 @@ type simMetrics struct {
 	evacuations      *obs.Counter
 	replacements     *obs.Counter
 	retriesExhausted *obs.Counter
+	grows            *obs.Counter
+	shrinks          *obs.Counter
+	growRejected     *obs.Counter
+	growDeferred     *obs.Counter
 	running          *obs.Gauge
 	usedSlots        *obs.Gauge
 	waitSeconds      *obs.Histogram
@@ -349,6 +378,14 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 			s.om.retriesExhausted = cfg.Obs.Counter("cloudsim.fault_retries_exhausted")
 			s.om.recoverySeconds = cfg.Obs.Histogram("cloudsim.recovery_seconds", 0, 1000, 20)
 		}
+		if cfg.Elastic.Enabled {
+			// Same deal for elastic runs: static scenarios keep their
+			// exact metric snapshots.
+			s.om.grows = cfg.Obs.Counter("cloudsim.resize_grows")
+			s.om.shrinks = cfg.Obs.Counter("cloudsim.resize_shrinks")
+			s.om.growRejected = cfg.Obs.Counter("cloudsim.resize_rejected")
+			s.om.growDeferred = cfg.Obs.Counter("cloudsim.resize_deferred")
+		}
 	}
 	caps := inv.CapacityMatrix()
 	for i := range caps {
@@ -358,8 +395,8 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 		return nil, errors.New("cloudsim: inventory has zero capacity")
 	}
 	if cfg.Serve != nil {
-		if cfg.Batch || cfg.Migrate || cfg.BatchWindow > 0 || cfg.Faults.Enabled() {
-			return nil, errors.New("cloudsim: Serve supports per-request mode only (no Batch, Migrate, BatchWindow, or Faults)")
+		if cfg.Batch || cfg.Migrate || cfg.BatchWindow > 0 || cfg.Faults.Enabled() || cfg.Elastic.Enabled {
+			return nil, errors.New("cloudsim: Serve supports per-request mode only (no Batch, Migrate, BatchWindow, Faults, or Elastic)")
 		}
 		oh, ok := placer.(*placement.OnlineHeuristic)
 		if !ok || oh.Policy != placement.ScanAllCenters {
@@ -387,6 +424,19 @@ func New(tp *topology.Topology, inv *inventory.Inventory, placer placement.Place
 			return nil, fmt.Errorf("cloudsim: attaching tier index: %w", err)
 		}
 		s.online, s.tidx = oh, idx
+	}
+	if cfg.Elastic.Enabled {
+		if cfg.Batch || cfg.Migrate || cfg.BatchWindow > 0 {
+			return nil, errors.New("cloudsim: Elastic supports direct per-request mode only (no Batch, Migrate, or BatchWindow)")
+		}
+		if err := cfg.Elastic.validate(); err != nil {
+			return nil, err
+		}
+		if s.tidx == nil {
+			return nil, fmt.Errorf("cloudsim: Elastic requires the indexed online heuristic, got %q", placer.Name())
+		}
+		s.ecfg = cfg.Elastic.withDefaults()
+		s.elastic = make(map[int]*elasticState)
 	}
 	return s, nil
 }
@@ -547,6 +597,18 @@ func (s *Simulator) finish() (*Metrics, error) {
 	if len(s.arrivals) != s.metrics.Unplaced {
 		return nil, fmt.Errorf("cloudsim: accounting leak: %d pending arrival entries, %d unplaced requests",
 			len(s.arrivals), s.metrics.Unplaced)
+	}
+	// The matching identity for mid-job deltas: every grow op must have
+	// terminated, and in exactly one way.
+	if s.elastic != nil {
+		if len(s.elastic) != 0 {
+			return nil, fmt.Errorf("cloudsim: accounting leak: %d clusters hold unresolved resize state", len(s.elastic))
+		}
+		m := &s.metrics
+		if m.Grows+m.GrowRejected+m.Deferred != m.GrowRequests {
+			return nil, fmt.Errorf("cloudsim: resize accounting leak: %d grown + %d rejected + %d deferred != %d requested",
+				m.Grows, m.GrowRejected, m.Deferred, m.GrowRequests)
+		}
 	}
 	return &s.metrics, nil
 }
@@ -733,9 +795,14 @@ func (s *Simulator) commission(r model.TimedRequest, alloc affinity.Allocation, 
 		return
 	}
 	s.departEv[id] = ev
+	if s.elastic != nil {
+		// The map phase starts now: open the cluster's resize lifecycle.
+		s.requestGrow(id, r, now)
+	}
 }
 
 func (s *Simulator) depart(id int, now float64) {
+	s.cancelElastic(id, now, "departed")
 	alloc := s.running[id]
 	delete(s.running, id)
 	delete(s.departEv, id)

@@ -144,6 +144,7 @@ func (s *Simulator) evacuate(id int, alloc, repl affinity.Allocation, lostVMs in
 // whole-cluster re-placement for its original request (which keeps its
 // arrival time, so a re-serve reports the true total wait).
 func (s *Simulator) teardown(id int, now float64) {
+	s.cancelElastic(id, now, "teardown")
 	alloc := s.running[id]
 	r := s.reqOf[id]
 	s.engine.Cancel(s.departEv[id])

@@ -1,24 +1,27 @@
 // Soak is the day-in-the-life endurance scenario: a large plant serving
 // an open-loop arrival stream (diurnally modulated Poisson arrivals,
 // heavy-tailed sizes and lifetimes) under a sparse crash/repair
-// schedule, replayed through the cloud simulator's streaming run. Unlike
-// the figure scenarios it never materializes the request slice and runs
-// uninstrumented (an obs registry retains every event — O(requests)
-// memory), so its footprint is O(active clusters) no matter how many
-// requests are replayed: one million requests fit in the same heap as
-// ten thousand. Latency and distance distributions come from the
-// simulator's constant-memory quantile sketches.
+// schedule, replayed through the cloud simulator's streaming run. It
+// never materializes the request slice, and its instrumentation uses a
+// streaming obs registry (events are written to a JSONL sink as they
+// happen, io.Discard by default, instead of being retained), so its
+// footprint is O(active clusters) no matter how many requests are
+// replayed: one million requests fit in the same heap as ten thousand.
+// Latency and distance distributions come from the simulator's
+// constant-memory quantile sketches.
 
 package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
 	"affinitycluster/internal/cloudsim"
 	"affinitycluster/internal/faults"
 	"affinitycluster/internal/inventory"
 	"affinitycluster/internal/model"
+	"affinitycluster/internal/obs"
 	"affinitycluster/internal/placement"
 	"affinitycluster/internal/queue"
 	"affinitycluster/internal/topology"
@@ -45,6 +48,10 @@ type SoakConfig struct {
 	// MemEvery samples the Go heap every N pulled requests to report the
 	// replay's peak footprint (0 = 4096; negative disables sampling).
 	MemEvery int
+	// Trace receives the run's event trace as JSONL, streamed event by
+	// event (never retained). Nil streams to io.Discard, so the run is
+	// always instrumented at O(1) trace memory.
+	Trace io.Writer
 }
 
 // DefaultSoakConfig is a 256-node plant at roughly 70% long-run
@@ -73,6 +80,12 @@ type SoakResult struct {
 	// Cloud is the simulator's aggregate metrics; its DistanceSketch and
 	// WaitSketch carry the latency/distance distributions.
 	Cloud *cloudsim.Metrics
+	// Reg is the run's streaming obs registry: its metrics are live for
+	// snapshotting, while its event trace went to SoakConfig.Trace (or
+	// io.Discard) and is not retained.
+	Reg *obs.Registry
+	// Events is the number of events streamed to the trace sink.
+	Events int
 	// Requests and Nodes echo the scenario size.
 	Requests, Nodes int
 	// PeakHeapBytes is the largest sampled Go heap during the replay
@@ -121,12 +134,18 @@ func Soak(seed int64, cfg SoakConfig) (*SoakResult, error) {
 		// NewOpenLoop accepted the config, so BaseRate > 0.
 		cfg.Faults.Horizon = float64(cfg.Requests) / cfg.Workload.BaseRate
 	}
-	cs, err := cloudsim.New(tp, inv, &placement.OnlineHeuristic{}, cloudsim.Config{
+	sink := cfg.Trace
+	if sink == nil {
+		sink = io.Discard
+	}
+	reg := obs.NewStreamingRegistry(sink)
+	cs, err := cloudsim.New(tp, inv, &placement.OnlineHeuristic{Obs: reg}, cloudsim.Config{
 		Policy:    queue.FIFO,
 		Faults:    cfg.Faults,
 		FaultSeed: seed + 2,
 		Recovery:  cfg.Recovery,
 		Sketch:    cfg.Sketch,
+		Obs:       reg,
 	})
 	if err != nil {
 		return nil, err
@@ -139,8 +158,13 @@ func Soak(seed int64, cfg SoakConfig) (*SoakResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := reg.SinkErr(); err != nil {
+		return nil, fmt.Errorf("experiments: soak trace sink: %w", err)
+	}
 	return &SoakResult{
 		Cloud:         m,
+		Reg:           reg,
+		Events:        reg.EventCount(),
 		Requests:      cfg.Requests,
 		Nodes:         tp.Nodes(),
 		PeakHeapBytes: src.peak,

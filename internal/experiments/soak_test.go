@@ -60,6 +60,36 @@ func TestSoakDeterministic(t *testing.T) {
 	}
 }
 
+// TestSoakStreamsTrace: the soak is instrumented through a streaming
+// registry — events reach the sink as JSONL without being retained, and
+// the streamed bytes are a same-seed-deterministic function of the run.
+func TestSoakStreamsTrace(t *testing.T) {
+	runAt := func(seed int64) (*SoakResult, string) {
+		cfg := DefaultSoakConfig()
+		cfg.Requests = 2000
+		var buf strings.Builder
+		cfg.Trace = &buf
+		res, err := Soak(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	res, trace := runAt(11)
+	if res.Events == 0 {
+		t.Fatal("instrumented soak streamed no events")
+	}
+	if got := strings.Count(trace, "\n"); got != res.Events {
+		t.Errorf("sink holds %d JSONL lines, registry counted %d events", got, res.Events)
+	}
+	if res.Reg.Events() != nil {
+		t.Error("soak registry retained events; must stream")
+	}
+	if _, again := runAt(11); again != trace {
+		t.Error("same-seed soak traces differ")
+	}
+}
+
 // TestSoakFaultsInjected: the derived fault horizon spans the run, so a
 // default-config soak actually sees failures.
 func TestSoakFaultsInjected(t *testing.T) {

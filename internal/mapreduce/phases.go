@@ -1,0 +1,32 @@
+// Phase-boundary estimation for elastic resizing. The hybrid job-driven
+// line of work grows a virtual cluster for the map phase and shrinks it
+// into the shuffle; the planner deciding whether a grow can pay off
+// before the shrink needs the map phase's share of the job's runtime
+// BEFORE the job runs. That share is estimable from the job spec alone:
+// both phases stream the same input volume, so the per-MB cost ratio is
+// the phase ratio, independent of input size and task parallelism (both
+// phases scale with the same cluster width under uniform task spread).
+package mapreduce
+
+// PhaseSplit estimates the fraction of the job's runtime spent in the
+// map phase. Per input MB the map side costs MapSecPerMB seconds of
+// compute; the reduce side processes the shuffle volume — MapSelectivity
+// MB per input MB — at ReduceSecPerMB each. The estimate is their ratio:
+//
+//	mapFrac = MapSecPerMB / (MapSecPerMB + MapSelectivity·ReduceSecPerMB)
+//
+// A spec with no compute cost on either side splits evenly (0.5). The
+// result is always in [0, 1]; cloudsim's elastic resize uses it to place
+// the shrink boundary and the grow deadline inside a cluster's hold
+// time.
+func (j JobSpec) PhaseSplit() float64 {
+	mapCost := j.MapSecPerMB
+	reduceCost := j.MapSelectivity * j.ReduceSecPerMB
+	if mapCost <= 0 && reduceCost <= 0 {
+		return 0.5
+	}
+	if mapCost <= 0 {
+		return 0
+	}
+	return mapCost / (mapCost + reduceCost)
+}

@@ -1,0 +1,59 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhaseSplitFormula(t *testing.T) {
+	j := JobSpec{MapSecPerMB: 0.02, MapSelectivity: 0.5, ReduceSecPerMB: 0.04}
+	want := 0.02 / (0.02 + 0.5*0.04)
+	if got := j.PhaseSplit(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PhaseSplit = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseSplitBoundsAndEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		j    JobSpec
+		want float64
+	}{
+		{"both free", JobSpec{}, 0.5},
+		{"map free", JobSpec{MapSelectivity: 1, ReduceSecPerMB: 0.1}, 0},
+		{"reduce free via selectivity", JobSpec{MapSecPerMB: 0.1}, 1},
+		{"reduce free via cost", JobSpec{MapSecPerMB: 0.1, MapSelectivity: 2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.j.PhaseSplit(); got != c.want {
+			t.Errorf("%s: PhaseSplit = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Always a valid fraction over a spread of specs.
+	for _, mc := range []float64{0, 0.01, 0.1, 3} {
+		for _, sel := range []float64{0, 0.2, 1, 5} {
+			for _, rc := range []float64{0, 0.05, 2} {
+				j := JobSpec{MapSecPerMB: mc, MapSelectivity: sel, ReduceSecPerMB: rc}
+				f := j.PhaseSplit()
+				if f < 0 || f > 1 || math.IsNaN(f) {
+					t.Fatalf("PhaseSplit(%v) = %v out of [0,1]", j, f)
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseSplitMonotone(t *testing.T) {
+	// Heavier shuffle/reduce work shifts the split toward the reduce phase.
+	base := JobSpec{MapSecPerMB: 0.05, MapSelectivity: 0.5, ReduceSecPerMB: 0.02}
+	prev := base.PhaseSplit()
+	for _, rc := range []float64{0.05, 0.2, 1, 10} {
+		j := base
+		j.ReduceSecPerMB = rc
+		f := j.PhaseSplit()
+		if f >= prev {
+			t.Fatalf("PhaseSplit not decreasing in ReduceSecPerMB: %v then %v", prev, f)
+		}
+		prev = f
+	}
+}

@@ -25,6 +25,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -169,6 +170,14 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	events   []Event
+	nEvents  int
+
+	// Streaming mode (NewStreamingRegistry): events are encoded into
+	// sinkBuf and written to sink as they are emitted instead of being
+	// retained in events. sinkErr latches the first write failure.
+	sink    io.Writer
+	sinkBuf []byte
+	sinkErr error
 }
 
 // NewRegistry creates an empty registry.
@@ -178,6 +187,18 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// NewStreamingRegistry creates a registry whose event trace streams to w
+// as JSONL — each Emit writes exactly the bytes WriteTraceJSONL would
+// have produced for that event — instead of being retained in memory.
+// Metrics behave exactly as in a retained registry. Long soak runs use
+// this so instrumentation stays O(1) in the event count; wrap w in a
+// bufio.Writer (and flush it after the run) when writing to a file.
+func NewStreamingRegistry(w io.Writer) *Registry {
+	r := NewRegistry()
+	r.sink = w
+	return r
 }
 
 // Counter returns the named counter, creating it on first use. Returns

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// emitSample drives one fixed event sequence into r.
+func emitSample(r *Registry) {
+	r.Emit("place", 0, F("req", 1), F("dc", 14.25), F("center", 3))
+	r.Emit("queue_reject", 1.5, F("req", 2), F("reason", "queue_full"))
+	r.Emit("fault", 2.75, F("nodes", []int{4, 5}), F("ok", true))
+	r.Emit("depart", 10, F("req", 1))
+}
+
+// TestStreamingByteIdentical pins the streaming contract: the bytes a
+// streaming registry writes per Emit are exactly the bytes retained mode
+// produces through WriteTraceJSONL for the same events.
+func TestStreamingByteIdentical(t *testing.T) {
+	retained := NewRegistry()
+	emitSample(retained)
+	var want bytes.Buffer
+	if err := retained.WriteTraceJSONL(&want); err != nil {
+		t.Fatalf("WriteTraceJSONL: %v", err)
+	}
+
+	var got bytes.Buffer
+	streaming := NewStreamingRegistry(&got)
+	emitSample(streaming)
+	if err := streaming.SinkErr(); err != nil {
+		t.Fatalf("SinkErr: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed trace differs from retained trace:\nstreamed: %q\nretained: %q", got.String(), want.String())
+	}
+	if got, want := streaming.EventCount(), retained.EventCount(); got != want {
+		t.Fatalf("EventCount = %d, want %d", got, want)
+	}
+}
+
+// TestStreamingRetainsNothing checks the memory contract: no events are
+// held, Events is empty, and WriteTraceJSONL refuses.
+func TestStreamingRetainsNothing(t *testing.T) {
+	r := NewStreamingRegistry(&bytes.Buffer{})
+	emitSample(r)
+	if ev := r.Events(); len(ev) != 0 {
+		t.Fatalf("streaming registry retained %d events", len(ev))
+	}
+	if len(r.events) != 0 {
+		t.Fatalf("streaming registry holds %d events internally", len(r.events))
+	}
+	if r.EventCount() != 4 {
+		t.Fatalf("EventCount = %d, want 4", r.EventCount())
+	}
+	if err := r.WriteTraceJSONL(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTraceJSONL on a streaming registry should fail")
+	}
+}
+
+type failWriter struct {
+	allow int
+	err   error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.allow <= 0 {
+		return 0, w.err
+	}
+	w.allow--
+	return len(p), nil
+}
+
+// TestStreamingSinkErrorLatched checks the first write error is surfaced
+// and later emits still count without writing.
+func TestStreamingSinkErrorLatched(t *testing.T) {
+	wantErr := errors.New("disk full")
+	r := NewStreamingRegistry(&failWriter{allow: 1, err: wantErr})
+	emitSample(r)
+	if err := r.SinkErr(); !errors.Is(err, wantErr) {
+		t.Fatalf("SinkErr = %v, want %v", err, wantErr)
+	}
+	if r.EventCount() != 4 {
+		t.Fatalf("EventCount = %d, want 4", r.EventCount())
+	}
+}
+
+// TestStreamingMetricsUnaffected checks the metric side is identical in
+// both modes.
+func TestStreamingMetricsUnaffected(t *testing.T) {
+	r := NewStreamingRegistry(&bytes.Buffer{})
+	r.Counter("placements").Add(3)
+	r.Gauge("util").Set(0.5)
+	r.Histogram("dc", 0, 10, 4).Observe(2)
+	s := r.Snapshot()
+	if s.Counters["placements"] != 3 || s.Gauges["util"] != 0.5 || s.Histograms["dc"].N != 1 {
+		t.Fatalf("metric snapshot wrong: %+v", s)
+	}
+}

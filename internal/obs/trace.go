@@ -8,6 +8,7 @@ package obs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -30,18 +31,35 @@ type Event struct {
 	Fields []Field
 }
 
-// Emit appends an event to the trace. No-op on a nil registry. The fields
-// slice is retained; callers must not reuse it.
+// Emit records an event. No-op on a nil registry. In retained mode the
+// event is appended to the trace and the fields slice is retained;
+// callers must not reuse it. In streaming mode (NewStreamingRegistry)
+// the event is encoded into the registry's reused buffer and written to
+// the sink immediately, so nothing is retained and memory stays O(1) in
+// the event count; the first write error is latched (SinkErr) and later
+// events are still counted but dropped.
 func (r *Registry) Emit(kind string, t float64, fields ...Field) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, Event{Time: t, Kind: kind, Fields: fields})
+	r.nEvents++
+	if r.sink != nil {
+		if r.sinkErr == nil {
+			r.sinkBuf = Event{Time: t, Kind: kind, Fields: fields}.appendJSON(r.sinkBuf[:0])
+			r.sinkBuf = append(r.sinkBuf, '\n')
+			if _, err := r.sink.Write(r.sinkBuf); err != nil {
+				r.sinkErr = err
+			}
+		}
+	} else {
+		r.events = append(r.events, Event{Time: t, Kind: kind, Fields: fields})
+	}
 	r.mu.Unlock()
 }
 
 // Events returns a copy of the recorded trace (nil on a nil registry).
+// A streaming registry retains nothing and returns nil.
 func (r *Registry) Events() []Event {
 	if r == nil {
 		return nil
@@ -51,14 +69,27 @@ func (r *Registry) Events() []Event {
 	return append([]Event(nil), r.events...)
 }
 
-// EventCount returns the number of recorded events.
+// EventCount returns the number of emitted events. Streaming registries
+// count events they no longer hold.
 func (r *Registry) EventCount() int {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.nEvents
+}
+
+// SinkErr returns the first write error of a streaming registry, nil
+// otherwise. Events emitted after a sink failure are counted but not
+// written.
+func (r *Registry) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
 }
 
 // appendJSON renders one event as a single JSON object:
@@ -115,10 +146,18 @@ func appendValue(b []byte, v any) []byte {
 	}
 }
 
-// WriteTraceJSONL streams the trace as one JSON object per line.
+// WriteTraceJSONL streams the trace as one JSON object per line. A
+// streaming registry has already written its events to the sink and
+// retains nothing to export, so the call is rejected.
 func (r *Registry) WriteTraceJSONL(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	r.mu.Lock()
+	streaming := r.sink != nil
+	r.mu.Unlock()
+	if streaming {
+		return errors.New("obs: streaming registry does not retain events; the trace was written to the sink")
 	}
 	bw := bufio.NewWriter(w)
 	var buf []byte

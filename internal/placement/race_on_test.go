@@ -1,0 +1,8 @@
+//go:build race
+
+package placement
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-regression gates skip under it, since the instrumentation
+// itself allocates.
+const raceEnabled = true

@@ -168,11 +168,14 @@ type scanScratch struct {
 
 	total     int               // VMs taken by the current sim
 	rackTake  []int             // racks: VMs taken per rack
-	rackMaxW  []int             // racks: largest single-node take
+	rackMaxW  []int             // racks: largest single-node load
 	rackBest  []topology.NodeID // racks: lowest ID achieving rackMaxW
 	touched   []int             // racks with rackTake > 0
 	cloudTake []int             // clouds: VMs taken per cloud
 	tclouds   []int             // clouds with cloudTake > 0
+	nodeLoad  []int             // n, lazy: cumulative VMs per node this sim
+	lnodes    []topology.NodeID // nodes with nodeLoad > 0
+	seedUniq  []topology.NodeID // distinct nodes of the seeded entries
 
 	cloudDC0  []float64 // clouds: memoized DC of the purely-remote build
 	cloudMemo []bool    // clouds: cloudDC0 valid for the current sweep
@@ -220,6 +223,20 @@ func (s *scanScratch) sup() []int {
 		s.nodeSup = make([]int, s.t.Nodes())
 	}
 	return s.nodeSup
+}
+
+// load returns the lazily-sized cumulative per-node load tally. In a
+// fresh build every node is taken at most once, so the tally mirrors
+// take's per-visit amounts; delta builds (placeDeltaCore) seed it with
+// the existing cluster first, so a node both hosting C and taking delta
+// VMs prices at its merged load.
+//
+//lint:hotpath
+func (s *scanScratch) load() []int {
+	if len(s.nodeLoad) < s.t.Nodes() {
+		s.nodeLoad = make([]int, s.t.Nodes())
+	}
+	return s.nodeLoad
 }
 
 // fastCover finds the lowest-ID node whose row covers r, scanning racks
@@ -569,9 +586,41 @@ func (s *scanScratch) resetTallies() {
 	for _, c := range s.tclouds {
 		s.cloudTake[c] = 0
 	}
+	for _, i := range s.lnodes {
+		s.nodeLoad[i] = 0
+	}
 	s.touched = s.touched[:0]
 	s.tclouds = s.tclouds[:0]
+	s.lnodes = s.lnodes[:0]
 	s.total = 0
+}
+
+// credit folds w VMs on node i into the rack/cloud/node tallies. The
+// rack's max-load compare uses the node's cumulative load, so a second
+// credit to the same node re-ranks it at its merged total.
+//
+//lint:hotpath
+func (s *scanScratch) credit(i topology.NodeID, w int) {
+	loads := s.load()
+	if loads[i] == 0 {
+		s.lnodes = append(s.lnodes, i)
+	}
+	loads[i] += w
+	lw := loads[i]
+	rr := s.t.RackOf(i)
+	if s.rackTake[rr] == 0 {
+		s.touched = append(s.touched, rr)
+		s.rackMaxW[rr], s.rackBest[rr] = lw, i
+	} else if lw > s.rackMaxW[rr] || (lw == s.rackMaxW[rr] && i < s.rackBest[rr]) {
+		s.rackMaxW[rr], s.rackBest[rr] = lw, i
+	}
+	s.rackTake[rr] += w
+	cl := s.t.CloudOf(i)
+	if s.cloudTake[cl] == 0 {
+		s.tclouds = append(s.tclouds, cl)
+	}
+	s.cloudTake[cl] += w
+	s.total += w
 }
 
 // take absorbs com(L_i, residual) into the tallies (and dst when
@@ -598,20 +647,7 @@ func (s *scanScratch) take(l [][]int, i topology.NodeID, dst *affinity.SparseAll
 		}
 	}
 	if taken > 0 {
-		rr := s.t.RackOf(i)
-		if s.rackTake[rr] == 0 {
-			s.touched = append(s.touched, rr)
-			s.rackMaxW[rr], s.rackBest[rr] = taken, i
-		} else if taken > s.rackMaxW[rr] || (taken == s.rackMaxW[rr] && i < s.rackBest[rr]) {
-			s.rackMaxW[rr], s.rackBest[rr] = taken, i
-		}
-		s.rackTake[rr] += taken
-		cl := s.t.CloudOf(i)
-		if s.cloudTake[cl] == 0 {
-			s.tclouds = append(s.tclouds, cl)
-		}
-		s.cloudTake[cl] += taken
-		s.total += taken
+		s.credit(i, taken)
 	}
 	return left == 0
 }
@@ -641,10 +677,20 @@ func (s *scanScratch) supplyOf(li []int) int {
 //
 //lint:hotpath
 func (s *scanScratch) buildSim(idx *affinity.TierIndex, r model.Request, center topology.NodeID, dst *affinity.SparseAlloc, rackOnly bool) bool {
-	t := s.t
-	l := idx.Matrix()
 	s.resetTallies()
 	s.resid = append(s.resid[:0], r...)
+	return s.fillFrom(idx, center, dst, rackOnly)
+}
+
+// fillFrom runs the greedy fill of the current residual around center on
+// top of whatever the tallies already hold — nothing for buildSim, the
+// existing cluster for placeDeltaCore, whose merged profile the fill
+// then extends.
+//
+//lint:hotpath
+func (s *scanScratch) fillFrom(idx *affinity.TierIndex, center topology.NodeID, dst *affinity.SparseAlloc, rackOnly bool) bool {
+	t := s.t
+	l := idx.Matrix()
 	if s.take(l, center, dst) {
 		return true
 	}

@@ -119,6 +119,8 @@ type Stats struct {
 	Released uint64 // successful releases
 	Queued   uint64 // placements that waited in the queue
 	Rejected uint64 // placements refused (queue disabled or full)
+	Grown    uint64 // successful cluster grows
+	Shrunk   uint64 // successful cluster shrinks
 }
 
 type opKind uint8
@@ -126,6 +128,8 @@ type opKind uint8
 const (
 	opPlace opKind = iota
 	opRelease
+	opGrow
+	opShrink
 )
 
 // op is one in-flight request. The submitting goroutine blocks on done
@@ -173,8 +177,13 @@ type Service struct {
 	stOps, stBatches, stMaxBatch           atomic.Uint64
 	stPlaced, stReleased                   atomic.Uint64
 	stQueued, stRejected                   atomic.Uint64
+	stGrown, stShrunk                      atomic.Uint64
 	mPlaced, mReleased, mQueued, mRejected *obs.Counter
 	mDC                                    *obs.Histogram
+	// Delta-op counters are registered lazily on first use (apply loop
+	// only), so services that never resize keep their exact metric
+	// snapshots.
+	mGrown, mShrunk *obs.Counter
 }
 
 // New validates the configuration, attaches a tier index to the
@@ -281,6 +290,37 @@ func (s *Service) ReleaseAt(seq uint64, entries []affinity.VMEntry) error {
 	return err
 }
 
+// Grow extends a previously committed cluster by delta VMs per type,
+// placed near the cluster's current center through the same single-writer
+// apply loop as Place (placement.PlaceDelta semantics: the merged DC and
+// center are returned, and the returned Entries cover only the added
+// VMs — keep them, or fold them into the cluster's own entries, for the
+// eventual Release). entries must describe VMs the service committed and
+// still holds; the slice is only read and must not be mutated until the
+// call returns. A grow that does not currently fit fails immediately
+// with placement.ErrInsufficient — deadline-driven callers defer and
+// retry rather than park in the wait queue.
+func (s *Service) Grow(entries []affinity.VMEntry, delta model.Request) (Placement, error) {
+	if s.cfg.Ordered {
+		return Placement{}, errors.New("service: ordered service does not support Grow")
+	}
+	return s.roundTrip(&op{kind: opGrow, entries: entries, req: delta})
+}
+
+// Shrink gives back delta VMs per type from a previously committed
+// cluster, picking the DC(C)-minimizing victims
+// (placement.ReleaseSubset), and wakes whatever queued placements the
+// freed capacity now fits. It returns the victim entries — the caller
+// must subtract them from its record of the cluster. entries is only
+// read and must not be mutated until the call returns.
+func (s *Service) Shrink(entries []affinity.VMEntry, delta model.Request) ([]affinity.VMEntry, error) {
+	if s.cfg.Ordered {
+		return nil, errors.New("service: ordered service does not support Shrink")
+	}
+	p, err := s.roundTrip(&op{kind: opShrink, entries: entries, req: delta})
+	return p.Entries, err
+}
+
 // Stats snapshots the service's activity counters.
 func (s *Service) Stats() Stats {
 	return Stats{
@@ -291,6 +331,8 @@ func (s *Service) Stats() Stats {
 		Released: s.stReleased.Load(),
 		Queued:   s.stQueued.Load(),
 		Rejected: s.stRejected.Load(),
+		Grown:    s.stGrown.Load(),
+		Shrunk:   s.stShrunk.Load(),
 	}
 }
 
@@ -444,11 +486,16 @@ func (s *Service) failAll(m map[uint64]*op) {
 }
 
 func (s *Service) applyOp(o *op) {
-	if o.kind == opRelease {
+	switch o.kind {
+	case opRelease:
 		s.applyRelease(o)
-		return
+	case opGrow:
+		s.applyGrow(o)
+	case opShrink:
+		s.applyShrink(o)
+	default:
+		s.applyPlace(o)
 	}
-	s.applyPlace(o)
 }
 
 // applyPlace runs the allocation-free hot path: indexed sparse placement,
@@ -469,6 +516,56 @@ func (s *Service) applyPlace(o *op) {
 		return
 	}
 	s.finishPlace(o, append([]affinity.VMEntry(nil), s.sp.Entries...), dc, center)
+}
+
+// applyGrow extends a live cluster with the delta scan: indexed sparse
+// delta placement around the cluster's current center, then the same
+// O(entries) commit as a placement. Grows never park in the wait queue —
+// they are deadline-driven at the caller, so "does not fit" is answered
+// immediately with ErrInsufficient.
+func (s *Service) applyGrow(o *op) {
+	dc, center, err := s.online.PlaceDeltaSparse(s.tidx, o.entries, o.req, &s.sp)
+	if err != nil {
+		o.done <- result{err: fmt.Errorf("service: grow %d: %w", o.seq, err)}
+		return
+	}
+	if err := s.inv.AllocateList(s.sp.Entries); err != nil {
+		o.done <- result{err: fmt.Errorf("service: committing grow %d: %w", o.seq, err)}
+		return
+	}
+	s.stGrown.Add(1)
+	if s.mGrown == nil {
+		s.mGrown = s.cfg.Obs.Counter("service.grown")
+	}
+	s.mGrown.Inc()
+	s.mDC.Observe(dc)
+	s.cfg.Obs.Emit("grow", float64(o.seq),
+		obs.F("req", int(o.seq)),
+		obs.F("center", int(center)),
+		obs.F("dc", dc))
+	o.done <- result{p: Placement{Seq: o.seq, Entries: append([]affinity.VMEntry(nil), s.sp.Entries...), DC: dc, Center: center}}
+}
+
+// applyShrink releases the DC-minimizing victims of a live cluster and
+// offers the freed capacity to the wait queue, like a release.
+func (s *Service) applyShrink(o *op) {
+	victims, err := placement.ReleaseSubsetSparse(s.topo, o.entries, o.req)
+	if err != nil {
+		o.done <- result{err: fmt.Errorf("service: shrink %d: %w", o.seq, err)}
+		return
+	}
+	if err := s.inv.ReleaseList(victims); err != nil {
+		o.done <- result{err: fmt.Errorf("service: committing shrink %d: %w", o.seq, err)}
+		return
+	}
+	s.stShrunk.Add(1)
+	if s.mShrunk == nil {
+		s.mShrunk = s.cfg.Obs.Counter("service.shrunk")
+	}
+	s.mShrunk.Inc()
+	s.cfg.Obs.Emit("shrink", float64(o.seq), obs.F("req", int(o.seq)))
+	o.done <- result{p: Placement{Seq: o.seq, Entries: victims}}
+	s.drainWaiters()
 }
 
 // applyBatchGlobal serves a batch with Algorithm 2 over each maximal run
